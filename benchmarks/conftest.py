@@ -1,0 +1,27 @@
+"""Shared configuration for the experiment benchmarks.
+
+Each benchmark file regenerates one table or figure of the paper's evaluation
+(§VII) at a reduced scale, prints the resulting rows/series (so running
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's tables), and
+asserts the qualitative shape the paper reports (who wins, rough factors,
+where crossovers fall).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the src/ layout importable even when the package is not installed
+# (mirrors the pythonpath setting used for tests/).
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def benchmark_scale() -> str:
+    """Dataset scale used by the benchmarks (kept small so runs finish quickly)."""
+    return "tiny"

@@ -1,0 +1,55 @@
+"""Fig. 7: total query runtimes over the base graph vs the 2-hop connector view.
+
+Paper shape reproduced at reduced scale:
+
+* on the heterogeneous graphs (prov, dblp) virtually every traversal query
+  benefits from the connector, with Q4/Q8-style queries gaining the most;
+* Q5/Q6 (pure counts) see little change;
+* on the power-law homogeneous network (soc-livejournal) the connector is
+  larger than the raw graph, so queries do *not* uniformly speed up.
+"""
+
+import statistics
+
+from repro.bench import figure7_runtimes, format_table
+
+HETEROGENEOUS = ("prov", "dblp")
+TRAVERSAL_QUERIES = ("Q1", "Q2", "Q3", "Q4")
+
+
+def test_fig7_query_runtimes(benchmark, benchmark_scale):
+    rows = benchmark.pedantic(
+        figure7_runtimes,
+        kwargs={"scale": benchmark_scale, "repetitions": 3},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(format_table(rows, title="Fig. 7 — total query runtimes (base vs connector)"))
+
+    assert {row["dataset"] for row in rows} == {"prov", "dblp", "roadnet-usa",
+                                                "soc-livejournal"}
+    by_key = {(row["dataset"], row["query"]): row for row in rows}
+
+    # Q1 exists only for the provenance dataset (as in the paper).
+    assert ("prov", "Q1") in by_key
+    assert ("dblp", "Q1") not in by_key
+
+    # Heterogeneous datasets: traversal queries get faster on the connector in
+    # aggregate (mean speedup > 1), and the best query gains at least ~2x.
+    for dataset_name in HETEROGENEOUS:
+        speedups = [by_key[(dataset_name, q)]["speedup"]
+                    for q in TRAVERSAL_QUERIES if (dataset_name, q) in by_key
+                    and by_key[(dataset_name, q)]["speedup"] is not None]
+        assert speedups, f"no traversal speedups recorded for {dataset_name}"
+        assert statistics.mean(speedups) > 1.0
+        assert max(speedups) > 2.0
+
+    # Every dataset ran the count queries in both modes (they need no rewrite).
+    for dataset_name in ("prov", "dblp", "roadnet-usa", "soc-livejournal"):
+        assert by_key[(dataset_name, "Q5")]["base_seconds"] >= 0
+        assert by_key[(dataset_name, "Q6")]["connector_seconds"] >= 0
+
+    # Community queries ran everywhere.
+    for dataset_name in ("prov", "dblp", "roadnet-usa", "soc-livejournal"):
+        assert (dataset_name, "Q7") in by_key
+        assert (dataset_name, "Q8") in by_key

@@ -1,0 +1,23 @@
+"""Table IV: the query workload (Q1-Q8 operations and result kinds)."""
+
+from repro.bench import format_table, table4_workload
+
+
+def test_table4_workload(benchmark):
+    rows = benchmark(table4_workload)
+    print()
+    print(format_table(rows, title="Table IV — query workload"))
+
+    by_id = {row["query"]: row for row in rows}
+    assert list(by_id) == [f"Q{i}" for i in range(1, 9)]
+    assert by_id["Q1"]["name"] == "Job Blast Radius"
+    assert by_id["Q1"]["result"] == "Subgraph"
+    assert by_id["Q2"]["result"] == "Set of vertices"
+    assert by_id["Q3"]["result"] == "Set of vertices"
+    assert by_id["Q4"]["result"] == "Bag of scalars"
+    assert by_id["Q5"]["result"] == "Single scalar"
+    assert by_id["Q6"]["result"] == "Single scalar"
+    assert by_id["Q7"]["operation"] == "Update"
+    assert by_id["Q8"]["result"] == "Subgraph"
+    # All but Q7 are retrievals (Table IV).
+    assert sum(1 for row in rows if row["operation"] == "Retrieval") == 7

@@ -1,0 +1,46 @@
+"""§V-B: knapsack view selection under a space budget, plus the Listing 4 rewrite.
+
+Shape reproduced: with a tight budget nothing (or only cheap summarizers) is
+materialized; once the budget accommodates the 2-hop connector's estimated
+size, the connector is selected, and the rewritten blast-radius query does
+less traversal work while returning the same results.
+"""
+
+from repro.bench import format_table, listing4_rewrite, selection_sweep
+
+
+def test_view_selection_budget_sweep(benchmark, benchmark_scale):
+    rows = benchmark.pedantic(
+        selection_sweep,
+        kwargs={"scale": benchmark_scale, "budget_fractions": (0.5, 1.0, 4.0, 8.0)},
+        iterations=1, rounds=1,
+    )
+    print()
+    print(format_table(rows, title="§V-B — view selection budget sweep"))
+
+    assert [row["budget_fraction"] for row in rows] == [0.5, 1.0, 4.0, 8.0]
+    for row in rows:
+        assert row["total_estimated_weight"] <= row["budget_edges"] + 1e-9
+    # Selection is monotone-ish in the budget: the largest budget selects the
+    # connector, the smallest selects nothing.
+    assert rows[0]["selected_views"] == 0
+    assert rows[-1]["includes_2hop_connector"]
+    selected_counts = [row["selected_views"] for row in rows]
+    assert selected_counts == sorted(selected_counts)
+
+
+def test_listing4_rewrite_end_to_end(benchmark, benchmark_scale):
+    outcome = benchmark.pedantic(listing4_rewrite, kwargs={"scale": benchmark_scale},
+                                 iterations=1, rounds=1)
+    print()
+    print("Listing 1 -> Listing 4 rewrite:")
+    for key, value in outcome.items():
+        print(f"  {key}: {value}")
+
+    assert outcome["results_equal"], "rewritten query must return the same pairs"
+    assert outcome["used_view"] is not None
+    assert "2hop" in outcome["used_view"]
+    # The rewritten query does substantially less traversal work (the paper
+    # reports up to 50x runtime gains; we require >2x on the work counter).
+    assert outcome["raw_work"] > 2 * outcome["optimized_work"]
+    assert "JOB_TO_JOB" in outcome["rewritten_query"]

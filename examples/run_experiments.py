@@ -1,0 +1,121 @@
+"""Regenerate the paper's tables and figures from the command line.
+
+Usage::
+
+    python examples/run_experiments.py             # run everything (tiny scale)
+    python examples/run_experiments.py table3 fig7 # run a subset
+    python examples/run_experiments.py --scale small fig6
+
+Each experiment prints the same rows/series the corresponding table or figure
+in the paper reports; EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import (
+    enumeration_pruning,
+    figure5_estimation,
+    figure6_size_reduction,
+    figure7_runtimes,
+    figure8_degree_ccdf,
+    format_series,
+    format_table,
+    listing4_rewrite,
+    selection_sweep,
+    table3_datasets,
+    table4_workload,
+)
+
+
+def run_table3(scale: str) -> None:
+    print(format_table(table3_datasets(scale),
+                       title="Table III — networks used for evaluation (scaled)"))
+
+
+def run_table4(scale: str) -> None:
+    print(format_table(table4_workload(), title="Table IV — query workload"))
+
+
+def run_fig5(scale: str) -> None:
+    points = figure5_estimation(scale)
+    rows = [{
+        "dataset": p.dataset, "graph_edges": p.graph_edges,
+        "alpha=50": p.estimate_alpha50, "alpha=95": p.estimate_alpha95,
+        "erdos_renyi": p.erdos_renyi, "actual": p.actual_connector_edges,
+    } for p in points]
+    print(format_table(rows, title="Fig. 5 — 2-hop connector size estimation"))
+
+
+def run_fig6(scale: str) -> None:
+    print(format_table(figure6_size_reduction(scale),
+                       title="Fig. 6 — effective graph size reduction"))
+
+
+def run_fig7(scale: str) -> None:
+    print(format_table(figure7_runtimes(scale, repetitions=3),
+                       title="Fig. 7 — query runtimes (base vs 2-hop connector)"))
+
+
+def run_fig8(scale: str) -> None:
+    output = figure8_degree_ccdf(scale)
+    rows = [{
+        "dataset": name,
+        "vertices": data["vertices"],
+        "edges": data["edges"],
+        "power_law_exponent": data["power_law_exponent"],
+        "r_squared": data["r_squared"],
+    } for name, data in output.items()]
+    print(format_table(rows, title="Fig. 8 — degree distribution power-law fits"))
+    print()
+    print(format_series({name: data["ccdf"][:12] for name, data in output.items()},
+                        title="Fig. 8 — degree CCDF (first 12 points per dataset)",
+                        x_label="degree", y_label="count>deg"))
+
+
+def run_pruning(scale: str) -> None:
+    print(format_table(enumeration_pruning(),
+                       title="§IV-A2 — enumeration search-space reduction"))
+
+
+def run_selection(scale: str) -> None:
+    print(format_table(selection_sweep(scale),
+                       title="§V-B — view selection budget sweep"))
+    print()
+    outcome = listing4_rewrite(scale)
+    print("Listing 1 -> Listing 4 rewrite:")
+    for key, value in outcome.items():
+        print(f"  {key}: {value}")
+
+
+EXPERIMENTS = {
+    "table3": run_table3,
+    "table4": run_table4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "pruning": run_pruning,
+    "selection": run_selection,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("experiments", nargs="*", choices=list(EXPERIMENTS) + [[]],
+                        help="experiments to run (default: all)")
+    parser.add_argument("--scale", default="tiny", choices=("tiny", "small", "medium"),
+                        help="dataset scale preset (default: tiny)")
+    args = parser.parse_args()
+
+    chosen = args.experiments or list(EXPERIMENTS)
+    for index, name in enumerate(chosen):
+        if index:
+            print("\n" + "=" * 72 + "\n")
+        EXPERIMENTS[name](args.scale)
+
+
+if __name__ == "__main__":
+    main()

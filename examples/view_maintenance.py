@@ -1,0 +1,68 @@
+"""Incremental maintenance of a materialized connector view.
+
+Production lineage graphs change constantly (new jobs write new files every
+minute), so a materialized job-to-job connector must stay consistent without
+being rebuilt from scratch.  This example materializes a 2-hop connector,
+streams edge insertions into the base graph, keeps the view up to date with
+:class:`~repro.views.ConnectorMaintainer`, and verifies that the maintained
+view always equals a from-scratch re-materialization.
+
+Run with::
+
+    python examples/view_maintenance.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets import summarized_provenance_graph
+from repro.views import ConnectorMaintainer, ViewCatalog, job_to_job_connector
+
+
+def view_edge_set(graph):
+    return {(edge.source, edge.target) for edge in graph.edges()}
+
+
+def main() -> None:
+    rng = random.Random(3)
+    graph = summarized_provenance_graph(num_jobs=80, seed=11)
+    print(f"base graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    catalog = ViewCatalog()
+    view = catalog.materialize(graph, job_to_job_connector())
+    maintainer = ConnectorMaintainer(graph, view)
+    print(f"initial 2-hop job-to-job connector: {view.num_edges} edges")
+
+    jobs = graph.vertex_ids("Job")
+    files = graph.vertex_ids("File")
+    added_view_edges = 0
+    for step in range(1, 31):
+        # Simulate new lineage: an existing file becomes input to another job,
+        # or a job writes an existing file it did not before.
+        if rng.random() < 0.5:
+            source, target, label = rng.choice(files), rng.choice(jobs), "IS_READ_BY"
+        else:
+            source, target, label = rng.choice(jobs), rng.choice(files), "WRITES_TO"
+        if graph.has_edge(source, target, label):
+            continue
+        graph.add_edge(source, target, label)
+        report = maintainer.on_edge_added(source, target)
+        added_view_edges += report.added_edges
+        if report.changed:
+            print(f"  step {step:>2}: +({source} -{label}-> {target}) "
+                  f"added {report.added_edges} connector edge(s)")
+
+    # Verify the maintained view equals a fresh materialization.
+    fresh = ViewCatalog().materialize(graph, job_to_job_connector())
+    maintained_edges = view_edge_set(view.graph)
+    fresh_edges = view_edge_set(fresh.graph)
+    print(f"\nafter 30 updates: maintained view has {len(maintained_edges)} edges, "
+          f"fresh rebuild has {len(fresh_edges)} edges")
+    assert maintained_edges == fresh_edges, "incremental maintenance must match rebuild"
+    print(f"incremental maintenance added {added_view_edges} edges and matches "
+          "a from-scratch rebuild ✔")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build editable wheels.
+This shim lets ``python setup.py develop`` (and thus ``pip install -e .
+--no-build-isolation`` with legacy fallbacks) work offline; all metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

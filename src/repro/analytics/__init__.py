@@ -1,0 +1,40 @@
+"""Graph analytics behind the Q1–Q8 evaluation workload (Table IV)."""
+
+from repro.analytics.traversal import (
+    BlastRadiusEntry,
+    ancestors,
+    blast_radius,
+    blast_radius_by_pipeline,
+    descendants,
+    k_hop_neighborhood,
+)
+from repro.analytics.paths import PathLengthEntry, all_path_lengths, path_lengths
+from repro.analytics.community import (
+    CommunitySummary,
+    communities,
+    community_subgraph,
+    label_propagation,
+    largest_community,
+)
+from repro.analytics.metrics import GraphSummary, edge_count, summarize, vertex_count
+
+__all__ = [
+    "BlastRadiusEntry",
+    "CommunitySummary",
+    "GraphSummary",
+    "PathLengthEntry",
+    "all_path_lengths",
+    "ancestors",
+    "blast_radius",
+    "blast_radius_by_pipeline",
+    "communities",
+    "community_subgraph",
+    "descendants",
+    "edge_count",
+    "k_hop_neighborhood",
+    "label_propagation",
+    "largest_community",
+    "path_lengths",
+    "summarize",
+    "vertex_count",
+]

@@ -1,0 +1,49 @@
+"""Whole-graph metrics: edge/vertex counts and basic summaries (Q5, Q6).
+
+Q5 and Q6 of the workload simply measure the overall size of the graph; they
+are included because they are the queries that do *not* benefit from connector
+views (and need no rewriting), anchoring the Fig. 7 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.property_graph import PropertyGraph
+
+
+def edge_count(graph: PropertyGraph, label: str | None = None) -> int:
+    """Q5: number of edges (optionally of one label)."""
+    return graph.count_edges(label)
+
+
+def vertex_count(graph: PropertyGraph, vertex_type: str | None = None) -> int:
+    """Q6: number of vertices (optionally of one type)."""
+    return graph.count_vertices(vertex_type)
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Basic size and degree summary of a graph."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    num_vertex_types: int
+    num_edge_labels: int
+    max_out_degree: int
+    mean_out_degree: float
+
+
+def summarize(graph: PropertyGraph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for reports."""
+    degrees = [graph.out_degree(v.id) for v in graph.vertices()]
+    return GraphSummary(
+        name=graph.name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        num_vertex_types=len(graph.vertex_types()),
+        num_edge_labels=len(graph.edge_labels()),
+        max_out_degree=max(degrees, default=0),
+        mean_out_degree=(sum(degrees) / len(degrees)) if degrees else 0.0,
+    )

@@ -1,0 +1,275 @@
+"""Experiment harness: one function per table/figure of the paper's evaluation.
+
+Each function regenerates the data behind a table or figure of §VII (at a
+reduced, laptop-friendly scale) and returns plain rows/series that the
+benchmarks assert on and ``examples/run_experiments.py`` prints.  See
+DESIGN.md §3 for the experiment index and EXPERIMENTS.md for paper-vs-measured
+comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.core.enumerator import ViewEnumerator
+from repro.core.estimator import ViewSizeEstimator, erdos_renyi_estimate
+from repro.core.kaskade import Kaskade
+from repro.datasets.registry import DatasetSpec, dataset, evaluation_datasets
+from repro.graph.io import edge_prefix
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.schema import provenance_schema
+from repro.graph.statistics import compute_statistics, degree_ccdf, fit_power_law
+from repro.graph.transform import induced_subgraph_by_vertex_types
+from repro.query.parser import parse_query
+from repro.views.catalog import ViewCatalog
+from repro.views.definitions import ConnectorView
+from repro.workloads.queries import workload_for_dataset
+from repro.workloads.runner import prepare_dataset, run_workload
+
+Row = dict[str, Any]
+
+#: The blast radius query (Listing 1's MATCH clause) used by several experiments.
+BLAST_RADIUS_CYPHER = (
+    "MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File), "
+    "(q_f1:File)-[r*0..8]->(q_f2:File), "
+    "(q_f2:File)-[:IS_READ_BY]->(q_j2:Job) "
+    "RETURN q_j1 AS A, q_j2 AS B"
+)
+
+
+# --------------------------------------------------------------------- tables
+def table3_datasets(scale: str = "small") -> list[Row]:
+    """Table III: the evaluation datasets and their sizes (scaled down)."""
+    rows: list[Row] = []
+    raw_prov = dataset("prov", scale).build()
+    summarized_prov = induced_subgraph_by_vertex_types(raw_prov, ["Job", "File"])
+    rows.append({"short_name": "prov (raw)", "type": "Data lineage",
+                 "vertices": raw_prov.num_vertices, "edges": raw_prov.num_edges})
+    rows.append({"short_name": "prov (summarized)", "type": "Data lineage",
+                 "vertices": summarized_prov.num_vertices,
+                 "edges": summarized_prov.num_edges})
+    for name, kind in (("dblp", "Publications"), ("soc-livejournal", "Social network"),
+                       ("roadnet-usa", "Road network")):
+        graph = dataset(name, scale).build()
+        rows.append({"short_name": name, "type": kind,
+                     "vertices": graph.num_vertices, "edges": graph.num_edges})
+    return rows
+
+
+def table4_workload() -> list[Row]:
+    """Table IV: the query workload (operation and result kind per query)."""
+    return [
+        {"query": q.query_id, "name": q.name, "operation": q.operation,
+         "result": q.result_kind}
+        for q in workload_for_dataset("prov")
+    ]
+
+
+# -------------------------------------------------------------------- figure 5
+@dataclass
+class EstimationPoint:
+    """One point of a Fig. 5 series: estimates and ground truth at a graph prefix."""
+
+    dataset: str
+    graph_edges: int
+    estimate_alpha50: float
+    estimate_alpha95: float
+    erdos_renyi: float
+    actual_connector_edges: int
+
+
+def figure5_estimation(scale: str = "tiny",
+                       prefixes: Sequence[int] = (500, 1000, 2000, 4000),
+                       datasets: Iterable[str] = ("prov", "dblp", "roadnet-usa",
+                                                  "soc-livejournal"),
+                       max_paths: int | None = 500_000) -> list[EstimationPoint]:
+    """Fig. 5: estimated vs actual 2-hop connector sizes over graph prefixes.
+
+    For each dataset and edge-prefix size n, materializes the 2-hop connector
+    over the first n edges and compares its true edge count against the Eq. 2/3
+    estimators at α = 50 and α = 95 (plus the Eq. 1 Erdős–Rényi baseline).
+    """
+    points: list[EstimationPoint] = []
+    for name in datasets:
+        spec = dataset(name, scale)
+        graph = spec.build()
+        if spec.heterogeneous:
+            keep = ["Job", "File"] if name.startswith("prov") else [
+                "Author", "Article", "InProc"]
+            graph = induced_subgraph_by_vertex_types(graph, keep)
+        view = ConnectorView(
+            name=f"{name}_2hop", connector_kind="k_hop_same_vertex_type",
+            source_type=spec.connector_vertex_type,
+            target_type=spec.connector_vertex_type, k=2)
+        seen_prefix_sizes: set[int] = set()
+        for prefix_size in prefixes:
+            prefix = edge_prefix(graph, prefix_size)
+            if prefix.num_edges == 0 or prefix.num_edges in seen_prefix_sizes:
+                continue  # prefix saturated at the full graph; skip duplicates
+            seen_prefix_sizes.add(prefix.num_edges)
+            from repro.views.connectors import count_connector_edges
+            actual = count_connector_edges(prefix, view, max_paths=max_paths)
+            estimator50 = ViewSizeEstimator.for_graph(prefix, alpha=50)
+            estimator95 = ViewSizeEstimator.for_graph(prefix, alpha=95)
+            points.append(EstimationPoint(
+                dataset=name,
+                graph_edges=prefix.num_edges,
+                estimate_alpha50=float(estimator50.estimate(view).edges),
+                estimate_alpha95=float(estimator95.estimate(view).edges),
+                erdos_renyi=erdos_renyi_estimate(prefix.num_vertices, prefix.num_edges, 2),
+                actual_connector_edges=actual,
+            ))
+    return points
+
+
+# -------------------------------------------------------------------- figure 6
+def figure6_size_reduction(scale: str = "small") -> list[Row]:
+    """Fig. 6: effective graph size for raw vs summarizer (filter) vs connector.
+
+    For the two heterogeneous datasets, reports vertices and edges of the raw
+    graph, the schema-level summarizer output, and the 2-hop connector built
+    on top of the summarized graph.
+    """
+    rows: list[Row] = []
+    configs = [
+        ("prov", ["Job", "File"], "Job"),
+        ("dblp", ["Author", "Article", "InProc"], "Author"),
+    ]
+    for name, keep_types, connector_type in configs:
+        raw = dataset(name, scale).build()
+        filtered = induced_subgraph_by_vertex_types(raw, keep_types)
+        catalog = ViewCatalog()
+        connector_view = catalog.materialize(filtered, ConnectorView(
+            name=f"{name}_2hop", connector_kind="k_hop_same_vertex_type",
+            source_type=connector_type, target_type=connector_type, k=2))
+        for stage, graph in (("raw", raw), ("filter", filtered),
+                             ("connector", connector_view.graph)):
+            rows.append({"dataset": name, "stage": stage,
+                         "vertices": graph.num_vertices, "edges": graph.num_edges})
+    return rows
+
+
+# -------------------------------------------------------------------- figure 7
+def figure7_runtimes(scale: str = "tiny", repetitions: int = 1,
+                     query_ids: Sequence[str] | None = None,
+                     datasets: Iterable[str] = ("prov", "dblp", "roadnet-usa",
+                                                "soc-livejournal")) -> list[Row]:
+    """Fig. 7: total query runtimes over the base graph vs the 2-hop connector."""
+    rows: list[Row] = []
+    for name in datasets:
+        prepared = prepare_dataset(dataset(name, scale))
+        result = run_workload(prepared, query_ids=query_ids, repetitions=repetitions)
+        by_query: dict[str, dict[str, float]] = {}
+        for record in result.runtimes:
+            by_query.setdefault(record.query_id, {})[record.mode] = record.seconds
+        for query_id, modes in sorted(by_query.items()):
+            base_mode = prepared.base_mode
+            base_seconds = modes.get(base_mode, 0.0)
+            connector_seconds = modes.get("connector", 0.0)
+            rows.append({
+                "dataset": name,
+                "query": query_id,
+                "base_mode": base_mode,
+                "base_seconds": base_seconds,
+                "connector_seconds": connector_seconds,
+                "speedup": (base_seconds / connector_seconds
+                            if connector_seconds > 0 else None),
+            })
+    return rows
+
+
+# -------------------------------------------------------------------- figure 8
+def figure8_degree_ccdf(scale: str = "small") -> dict[str, dict[str, Any]]:
+    """Fig. 8: degree CCDF (log-log) and power-law fit per dataset.
+
+    The paper plots the degree distribution of all vertices; we use total
+    (in + out) degree, which is what makes the preferential-attachment hubs of
+    the social network visible.
+    """
+    output: dict[str, dict[str, Any]] = {}
+    for spec in evaluation_datasets(scale):
+        graph = spec.build()
+        ccdf = degree_ccdf(graph, direction="total")
+        exponent, r_squared = fit_power_law(ccdf)
+        output[spec.name] = {
+            "ccdf": ccdf,
+            "power_law_exponent": exponent,
+            "r_squared": r_squared,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+        }
+    return output
+
+
+# ------------------------------------------------------- §IV-A2 pruning study
+def enumeration_pruning(max_ks: Sequence[int] = (2, 4, 6, 8, 10)) -> list[Row]:
+    """§IV-A2: constrained vs unconstrained view-enumeration search space.
+
+    Uses the full provenance schema (which contains a task-to-task cycle, so
+    unconstrained schema-path enumeration grows quickly with k) and the blast
+    radius query.
+    """
+    schema = provenance_schema(include_tasks=True)
+    enumerator = ViewEnumerator(schema)
+    query = parse_query(BLAST_RADIUS_CYPHER, name="blast-radius")
+    rows: list[Row] = []
+    for max_k in max_ks:
+        report = enumerator.search_space_report(query, max_k=max_k)
+        rows.append({
+            "max_k": max_k,
+            "constrained_candidates": report.constrained_candidates,
+            "unconstrained_schema_paths": report.unconstrained_schema_paths,
+            "reduction_factor": report.reduction_factor,
+        })
+    return rows
+
+
+# ------------------------------------------------------------ §V-B selection
+def selection_sweep(scale: str = "tiny",
+                    budget_fractions: Sequence[float] = (0.5, 1.0, 4.0, 8.0)) -> list[Row]:
+    """§V-B: which views the knapsack selects as the space budget grows.
+
+    Budgets are expressed as fractions of the summarized graph's edge count;
+    the row reports how many views were selected and whether the 2-hop
+    connector made the cut.
+    """
+    spec = dataset("prov-summarized", scale)
+    graph = spec.build()
+    kaskade = Kaskade(graph)
+    query = kaskade.parse(BLAST_RADIUS_CYPHER, name="Q1")
+    rows: list[Row] = []
+    for fraction in budget_fractions:
+        budget = max(1.0, fraction * graph.num_edges)
+        report = kaskade.select_views([query], budget_edges=budget, materialize=False)
+        names = [a.candidate.definition.name for a in report.selection.selected]
+        rows.append({
+            "budget_fraction": fraction,
+            "budget_edges": budget,
+            "selected_views": len(names),
+            "includes_2hop_connector": any("2hop" in name for name in names),
+            "total_estimated_weight": report.selection.total_weight,
+        })
+    return rows
+
+
+# ---------------------------------------------------- Listing 1 -> Listing 4
+def listing4_rewrite(scale: str = "tiny") -> Row:
+    """The Listing 1 → Listing 4 rewrite, end to end, with result equivalence."""
+    spec = dataset("prov-summarized", scale)
+    graph = spec.build()
+    kaskade = Kaskade(graph)
+    query = kaskade.parse(BLAST_RADIUS_CYPHER, name="Q1")
+    kaskade.select_views([query], budget_edges=10 * graph.num_edges)
+    raw = kaskade.execute(query, use_views=False)
+    optimized = kaskade.execute(query)
+    raw_pairs = {(row["A"], row["B"]) for row in raw.result.rows}
+    optimized_pairs = {(row["A"], row["B"]) for row in optimized.result.rows}
+    return {
+        "rewritten_query": str(optimized.rewrite.rewritten) if optimized.rewrite else None,
+        "used_view": optimized.used_view_name,
+        "raw_work": raw.result.stats.total_work,
+        "optimized_work": optimized.result.stats.total_work,
+        "results_equal": raw_pairs == optimized_pairs,
+        "result_pairs": len(raw_pairs),
+    }

@@ -1,0 +1,73 @@
+"""Plain-text reporting helpers for the experiment harness.
+
+Every experiment in :mod:`repro.bench.figures` returns plain data (lists of
+dict rows or dataclasses); these helpers render them as aligned text tables so
+the benchmarks and ``examples/run_experiments.py`` can print the same rows and
+series the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None,
+                 title: str | None = None, float_format: str = "{:.3g}") -> str:
+    """Render rows of dictionaries as an aligned text table.
+
+    Args:
+        rows: Row dictionaries (missing keys render as empty cells).
+        columns: Column order (defaults to the keys of the first row).
+        title: Optional title line printed above the table.
+        float_format: Format spec applied to float values.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def render(value: Any) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        if value is None:
+            return ""
+        return str(value)
+
+    table = [[render(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(columns[i]), max((len(line[i]) for line in table), default=0))
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in table:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Iterable[tuple[Any, Any]]], title: str | None = None,
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render named (x, y) series as text (one block per series)."""
+    lines = []
+    if title:
+        lines.append(title)
+    for name, points in series.items():
+        lines.append(f"[{name}]")
+        lines.append(f"  {x_label:>12}  {y_label:>14}")
+        for x, y in points:
+            y_rendered = f"{y:.4g}" if isinstance(y, float) else str(y)
+            lines.append(f"  {str(x):>12}  {y_rendered:>14}")
+    return "\n".join(lines)
+
+
+def human_count(value: float) -> str:
+    """Format a count with K/M/B suffixes (used in Table III style output)."""
+    for threshold, suffix in ((1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.1f}{suffix}"
+    return f"{value:.0f}"

@@ -1,0 +1,76 @@
+"""KASKADE core: constraint-based enumeration, cost model, selection, rewriting.
+
+This subpackage implements the paper's primary contribution: explicit
+constraint extraction (§IV-A1), implicit constraint mining (§IV-A2),
+inference-based view enumeration via templates (§IV-B), the view size
+estimators and cost model (§V-A), knapsack view selection (§V-B), view-based
+query rewriting (§V-C), and the :class:`Kaskade` facade tying it all together.
+"""
+
+from repro.core.facts import describe_facts, query_to_facts, schema_to_facts
+from repro.core.mining import (
+    k_hop_schema_paths_procedural,
+    mining_rules,
+    query_mining_rules,
+    schema_mining_rules,
+)
+from repro.core.templates import (
+    AggregateTemplate,
+    ViewCandidate,
+    ViewTemplate,
+    all_template_rules,
+    connector_templates,
+    summarizer_templates,
+)
+from repro.core.enumerator import (
+    EnumerationResult,
+    SearchSpaceReport,
+    ViewEnumerator,
+)
+from repro.core.estimator import (
+    DEFAULT_ALPHA,
+    SizeEstimate,
+    ViewSizeEstimator,
+    erdos_renyi_estimate,
+    heterogeneous_estimate,
+    homogeneous_estimate,
+)
+from repro.core.cost_model import CandidateAssessment, ViewBenefit, ViewCostModel
+from repro.core.rewriter import QueryRewriter, RewrittenQuery
+from repro.core.selection import SelectionResult, ViewSelector
+from repro.core.kaskade import Kaskade, MaterializationReport, QueryOutcome
+
+__all__ = [
+    "AggregateTemplate",
+    "CandidateAssessment",
+    "DEFAULT_ALPHA",
+    "EnumerationResult",
+    "Kaskade",
+    "MaterializationReport",
+    "QueryOutcome",
+    "QueryRewriter",
+    "RewrittenQuery",
+    "SearchSpaceReport",
+    "SelectionResult",
+    "SizeEstimate",
+    "ViewBenefit",
+    "ViewCandidate",
+    "ViewCostModel",
+    "ViewEnumerator",
+    "ViewSelector",
+    "ViewSizeEstimator",
+    "ViewTemplate",
+    "all_template_rules",
+    "connector_templates",
+    "describe_facts",
+    "erdos_renyi_estimate",
+    "heterogeneous_estimate",
+    "homogeneous_estimate",
+    "k_hop_schema_paths_procedural",
+    "mining_rules",
+    "query_mining_rules",
+    "query_to_facts",
+    "schema_mining_rules",
+    "schema_to_facts",
+    "summarizer_templates",
+]

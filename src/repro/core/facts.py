@@ -1,0 +1,66 @@
+"""Explicit constraint extraction (§IV-A1).
+
+The first step of constraint-based view enumeration turns the query's MATCH
+clause and the graph schema into Prolog facts:
+
+* From the query: ``queryVertex/1``, ``queryVertexType/2``, ``queryEdge/2``,
+  ``queryEdgeType/3``, and ``queryVariableLengthPath/4`` facts — exactly the
+  facts shown in §IV-A1 for the job blast radius query of Listing 1.
+* From the schema: ``schemaVertex/1`` and ``schemaEdge/3`` facts.
+
+These facts feed the constraint mining rules (:mod:`repro.core.mining`) and
+the view templates (:mod:`repro.core.templates`) inside the inference engine.
+"""
+
+from __future__ import annotations
+
+from repro.graph.schema import GraphSchema
+from repro.inference.terms import Rule, fact
+from repro.query.ast import GraphQuery
+
+
+def query_to_facts(query: GraphQuery) -> list[Rule]:
+    """Extract explicit constraint facts from a query's graph pattern.
+
+    Every named vertex and edge of the MATCH clause becomes a fact, along with
+    its declared type and any variable-length path bounds, mirroring §IV-A1.
+    """
+    facts: list[Rule] = []
+    seen_vertices: set[str] = set()
+
+    for path in query.match:
+        for node in path.nodes:
+            if node.variable not in seen_vertices:
+                seen_vertices.add(node.variable)
+                facts.append(fact("queryVertex", node.variable))
+                if node.label is not None:
+                    facts.append(fact("queryVertexType", node.variable, node.label))
+        for edge, source, target in zip(path.edges, path.nodes, path.nodes[1:]):
+            source_var, target_var = source.variable, target.variable
+            if edge.direction == "in":
+                source_var, target_var = target_var, source_var
+            if edge.is_variable_length:
+                facts.append(fact(
+                    "queryVariableLengthPath", source_var, target_var,
+                    edge.min_hops, edge.max_hops,
+                ))
+            else:
+                facts.append(fact("queryEdge", source_var, target_var))
+                if edge.label is not None:
+                    facts.append(fact("queryEdgeType", source_var, target_var, edge.label))
+    return facts
+
+
+def schema_to_facts(schema: GraphSchema) -> list[Rule]:
+    """Extract explicit constraint facts from a graph schema (§IV-A1)."""
+    facts: list[Rule] = []
+    for vertex_type in schema.vertex_types:
+        facts.append(fact("schemaVertex", vertex_type))
+    for edge_type in schema.edge_types:
+        facts.append(fact("schemaEdge", edge_type.source, edge_type.target, edge_type.label))
+    return facts
+
+
+def describe_facts(rules: list[Rule]) -> list[str]:
+    """Render facts as Prolog-ish text lines (used in reports and examples)."""
+    return [str(rule) for rule in rules]

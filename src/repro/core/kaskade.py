@@ -1,0 +1,203 @@
+"""The KASKADE facade: workload analyzer + query rewriter + execution engine.
+
+This module ties every component of Fig. 2 together around one base graph:
+
+* the **workload analyzer** (:meth:`Kaskade.select_views`) runs constraint-
+  based view enumeration for a workload, assesses candidates with the cost
+  model, solves the knapsack, and materializes the chosen views into the view
+  catalog;
+* the **query rewriter** (:meth:`Kaskade.rewrite`) finds, among the
+  *materialized* views, the rewrite with the smallest estimated evaluation
+  cost for an incoming query;
+* the **execution engine** (:meth:`Kaskade.execute`) evaluates the original or
+  rewritten query with the pattern-matching executor, automatically choosing
+  the right target graph (the connector view's graph, a summarized graph, or
+  the raw graph).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.cost_model import CandidateAssessment, ViewCostModel
+from repro.core.enumerator import EnumerationResult, ViewEnumerator
+from repro.core.estimator import DEFAULT_ALPHA
+from repro.core.rewriter import QueryRewriter, RewrittenQuery
+from repro.core.selection import SelectionResult, ViewSelector
+from repro.core.templates import ViewCandidate
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.schema import GraphSchema
+from repro.graph.statistics import compute_statistics
+from repro.graph.transform import union
+from repro.query.ast import GraphQuery
+from repro.query.cost import QueryCostModel
+from repro.query.executor import ExecutionResult, QueryExecutor
+from repro.query.parser import parse_query
+from repro.views.catalog import MaterializedView, ViewCatalog
+from repro.views.definitions import ConnectorView, SummarizerView
+
+
+@dataclass
+class MaterializationReport:
+    """What `select_views` chose and materialized."""
+
+    selection: SelectionResult
+    materialized: list[MaterializedView] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def view_names(self) -> list[str]:
+        return [view.definition.name for view in self.materialized]
+
+
+@dataclass
+class QueryOutcome:
+    """Result of executing a query through KASKADE."""
+
+    query: GraphQuery
+    result: ExecutionResult
+    used_view: MaterializedView | None = None
+    rewrite: RewrittenQuery | None = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def used_view_name(self) -> str | None:
+        return self.used_view.definition.name if self.used_view else None
+
+
+class Kaskade:
+    """Graph query optimization framework with materialized graph views."""
+
+    def __init__(self, graph: PropertyGraph, schema: GraphSchema | None = None,
+                 alpha: float = DEFAULT_ALPHA,
+                 knapsack_method: str = "branch_and_bound",
+                 materialization_max_paths: int | None = None) -> None:
+        """Create a KASKADE instance for one base graph.
+
+        Args:
+            graph: The raw (or pre-summarized) graph.
+            schema: Graph schema; inferred from the data when omitted.
+            alpha: Out-degree percentile for view size estimation (§V-A).
+            knapsack_method: Solver used for view selection.
+            materialization_max_paths: Optional cap on paths contracted per
+                connector view (protects dense homogeneous graphs).
+        """
+        self.graph = graph
+        self.schema = schema or graph.infer_schema()
+        self.alpha = alpha
+        self.catalog = ViewCatalog()
+        self.enumerator = ViewEnumerator(self.schema)
+        self.statistics = compute_statistics(graph)
+        self.cost_model = ViewCostModel(self.statistics, alpha=alpha, schema=self.schema)
+        self.selector = ViewSelector(self.enumerator, self.cost_model,
+                                     knapsack_method=knapsack_method)
+        self.rewriter = QueryRewriter(self.schema)
+        self.materialization_max_paths = materialization_max_paths
+        # Candidate -> rewrites discovered during selection, reused at query time
+        # ("if this information is saved from the view selection step ... we can
+        #  leverage it without having to invoke the view enumeration again").
+        self._saved_rewrites: dict[str, list[RewrittenQuery]] = {}
+
+    # ----------------------------------------------------------------- parsing
+    def parse(self, text: str, name: str = "") -> GraphQuery:
+        """Parse query text with the Cypher-like parser."""
+        return parse_query(text, name=name)
+
+    # ------------------------------------------------------------- enumeration
+    def enumerate_views(self, query: GraphQuery) -> EnumerationResult:
+        """Run constraint-based view enumeration for one query (§IV)."""
+        return self.enumerator.enumerate(query)
+
+    # --------------------------------------------------------------- selection
+    def select_views(self, workload: Sequence[GraphQuery], budget_edges: float,
+                     query_weights: Mapping[str, float] | None = None,
+                     materialize: bool = True) -> MaterializationReport:
+        """Select (and by default materialize) the best views for a workload (§V-B)."""
+        start = time.perf_counter()
+        selection = self.selector.select(workload, budget_edges, query_weights)
+        materialized: list[MaterializedView] = []
+        if materialize:
+            for assessment in selection.selected:
+                view = self.catalog.materialize(
+                    self.graph, assessment.candidate.definition,
+                    max_paths=self.materialization_max_paths)
+                materialized.append(view)
+        for query in workload:
+            key = query.name or str(id(query))
+            self._saved_rewrites[key] = selection.rewrites_for(query)
+        elapsed = time.perf_counter() - start
+        return MaterializationReport(selection=selection, materialized=materialized,
+                                     elapsed_seconds=elapsed)
+
+    def materialize_view(self, candidate: ViewCandidate | ConnectorView | SummarizerView
+                         ) -> MaterializedView:
+        """Materialize a single view (bypassing selection)."""
+        definition = candidate.definition if isinstance(candidate, ViewCandidate) else candidate
+        return self.catalog.materialize(self.graph, definition,
+                                        max_paths=self.materialization_max_paths)
+
+    # --------------------------------------------------------------- rewriting
+    def rewrite(self, query: GraphQuery) -> RewrittenQuery | None:
+        """Find the best view-based rewrite of a query among materialized views (§V-C).
+
+        Returns None when no materialized view produces a valid rewrite.
+        """
+        saved = self._saved_rewrites.get(query.name or str(id(query)), [])
+        rewrites = [r for r in saved
+                    if self.catalog.contains(r.candidate.definition)]
+        if not rewrites:
+            # Re-enumerate: generate candidates, prune those not materialized.
+            candidates = [
+                candidate for candidate in self.enumerate_views(query).candidates
+                if self.catalog.contains(candidate.definition)
+            ]
+            rewrites = self.rewriter.applicable(query, candidates)
+        if not rewrites:
+            return None
+        return min(rewrites, key=self._rewrite_cost)
+
+    def _rewrite_cost(self, rewrite: RewrittenQuery) -> float:
+        """Estimated evaluation cost of a rewrite over its materialized view."""
+        view = self.catalog.find(rewrite.candidate.definition)
+        if view is None:
+            return float("inf")
+        model = QueryCostModel.for_graph(view.graph)
+        return model.estimate_total(rewrite.rewritten)
+
+    # ---------------------------------------------------------------- execution
+    def execute(self, query: GraphQuery, use_views: bool = True,
+                max_bindings: int | None = None) -> QueryOutcome:
+        """Execute a query, using the best materialized view when beneficial."""
+        start = time.perf_counter()
+        rewrite = self.rewrite(query) if use_views else None
+        if rewrite is None:
+            result = QueryExecutor(self.graph, max_bindings=max_bindings).execute(query)
+            return QueryOutcome(query=query, result=result,
+                                elapsed_seconds=time.perf_counter() - start)
+        view = self.catalog.get(rewrite.candidate.definition)
+        target = self._target_graph(rewrite, view)
+        result = QueryExecutor(target, max_bindings=max_bindings).execute(rewrite.rewritten)
+        return QueryOutcome(query=query, result=result, used_view=view, rewrite=rewrite,
+                            elapsed_seconds=time.perf_counter() - start)
+
+    def execute_text(self, text: str, name: str = "", use_views: bool = True) -> QueryOutcome:
+        """Parse and execute query text."""
+        return self.execute(self.parse(text, name=name), use_views=use_views)
+
+    def _target_graph(self, rewrite: RewrittenQuery, view: MaterializedView) -> PropertyGraph:
+        """Pick the graph the rewritten query should run against.
+
+        Summarizer rewrites run on the summarized graph.  Connector rewrites
+        run on the connector graph when every edge pattern uses the connector's
+        label; otherwise (mixed rewrites keeping a prefix/suffix of raw-graph
+        hops) they run on the union of the base graph and the connector edges.
+        """
+        definition = rewrite.candidate.definition
+        if isinstance(definition, SummarizerView):
+            return view.graph
+        labels = {edge.label for edge in rewrite.rewritten.edge_patterns()}
+        if labels <= {definition.output_label}:
+            return view.graph
+        return union(self.graph, view.graph, name=f"{self.graph.name}+{definition.name}")

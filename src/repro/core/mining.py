@@ -1,0 +1,244 @@
+"""Implicit constraint mining rules (§IV-A2, Listings 2 and 6).
+
+Explicit facts alone still admit many infeasible views (e.g. odd-length
+job-to-job connectors, or connectors longer than the query's hop bound).
+Kaskade therefore ships a library of *constraint mining rules* that derive
+implicit constraints from the explicit facts at enumeration time.  This module
+provides that library as :class:`~repro.inference.Rule` objects:
+
+* ``schemaKHopPath/3`` — whether a k-length path between two vertex *types* is
+  feasible over the schema.  We use walk semantics over the type graph (types
+  may repeat), which is the data-level notion of feasibility and matches the
+  instantiations the paper reports in §IV-B (job-to-job connectors for
+  k = 2, 4, 6, 8, 10).  The literal Listing 2 rule (trail semantics) is also
+  provided as ``schemaKHopSimplePath`` for comparison, together with the
+  procedural Algorithm 1.
+* ``queryKHopPath/3``, ``queryKHopVariableLengthPath/3``, ``queryPath/2`` —
+  path constraints over the query graph (Listing 6), which bound the k values
+  worth considering.
+* ``queryVertexSource/1``, ``queryVertexSink/1`` and the degree helpers —
+  used by the source-to-sink connector template.
+"""
+
+from __future__ import annotations
+
+from repro.graph.schema import EdgeType, GraphSchema
+from repro.inference.terms import Rule, rule, struct, var
+
+
+def schema_mining_rules() -> list[Rule]:
+    """Constraint mining rules over the schema facts."""
+    X, Y, Z = var("X"), var("Y"), var("Z")
+    K, K1 = var("K"), var("K1")
+    Trail = var("Trail")
+    rules: list[Rule] = []
+
+    # schemaKHopPath(X, Y, K): a K-length walk exists between types X and Y.
+    # K must be bound by the caller (the view templates bind it from the
+    # query's hop constraints before consulting the schema).
+    rules.append(rule(
+        struct("schemaKHopPath", X, Y, 1),
+        struct("schemaEdge", X, Y, var("_L")),
+    ))
+    rules.append(rule(
+        struct("schemaKHopPath", X, Y, K),
+        struct(">", K, 1),
+        struct("is", K1, struct("-", K, 1)),
+        struct("schemaEdge", X, Z, var("_L2")),
+        struct("schemaKHopPath", Z, Y, K1),
+    ))
+
+    # schemaPath(X, Y): some directed path exists between types X and Y
+    # (transitive closure with a trail so it terminates on cyclic schemas).
+    rules.append(rule(
+        struct("schemaPath", X, Y),
+        struct("schemaPathTrail", X, Y, [X]),
+    ))
+    rules.append(rule(
+        struct("schemaPathTrail", X, Y, var("_T")),
+        struct("schemaEdge", X, Y, var("_L3")),
+    ))
+    rules.append(rule(
+        struct("schemaPathTrail", X, Y, Trail),
+        struct("schemaEdge", X, Z, var("_L4")),
+        struct("not", struct("member", Z, Trail)),
+        struct("schemaPathTrail", Z, Y, struct(".", Z, Trail)),
+    ))
+
+    # schemaKHopSimplePath(X, Y, K): the literal Listing 2 rule — acyclic over
+    # vertex types (trail check), generative in K.
+    rules.append(rule(
+        struct("schemaKHopSimplePath", X, Y, K),
+        struct("schemaKHopSimplePath", X, Y, K, []),
+    ))
+    rules.append(rule(
+        struct("schemaKHopSimplePath", X, Y, 1, var("_T5")),
+        struct("schemaEdge", X, Y, var("_L5")),
+    ))
+    rules.append(rule(
+        struct("schemaKHopSimplePath", X, Y, K, Trail),
+        struct("schemaEdge", X, Z, var("_L6")),
+        struct("not", struct("member", Z, Trail)),
+        struct("schemaKHopSimplePath", Z, Y, K1, struct(".", X, Trail)),
+        struct("is", K, struct("+", K1, 1)),
+    ))
+    return rules
+
+
+def query_mining_rules() -> list[Rule]:
+    """Constraint mining rules over the query facts (Listing 6)."""
+    X, Y, Z = var("X"), var("Y"), var("Z")
+    K, K1, K2 = var("K"), var("K1"), var("K2")
+    Lower, Upper = var("LOWER"), var("UPPER")
+    rules: list[Rule] = []
+
+    # Query k-hop variable-length paths.
+    rules.append(rule(
+        struct("queryKHopVariableLengthPath", X, Y, K),
+        struct("queryVariableLengthPath", X, Y, Lower, Upper),
+        struct("between", Lower, Upper, K),
+    ))
+
+    # Query k-hop paths.
+    rules.append(rule(
+        struct("queryKHopPath", X, Y, 1),
+        struct("queryEdge", X, Y),
+    ))
+    rules.append(rule(
+        struct("queryKHopPath", X, Y, K),
+        struct("queryKHopVariableLengthPath", X, Y, K),
+    ))
+    rules.append(rule(
+        struct("queryKHopPath", X, Y, K),
+        struct("queryEdge", X, Z),
+        struct("queryKHopPath", Z, Y, K1),
+        struct("is", K, struct("+", K1, 1)),
+    ))
+    rules.append(rule(
+        struct("queryKHopPath", X, Y, K),
+        struct("queryKHopVariableLengthPath", X, Z, K2),
+        struct("queryKHopPath", Z, Y, K1),
+        struct("is", K, struct("+", K1, K2)),
+    ))
+
+    # Query paths (any length).
+    rules.append(rule(
+        struct("queryPath", X, Y),
+        struct("queryEdge", X, Y),
+    ))
+    rules.append(rule(
+        struct("queryPath", X, Y),
+        struct("queryKHopPath", X, Y, var("_K")),
+    ))
+    rules.append(rule(
+        struct("queryPath", X, Y),
+        struct("queryEdge", X, Z),
+        struct("queryPath", Z, Y),
+    ))
+
+    # Query vertex source/sink and degree helpers.
+    rules.append(rule(
+        struct("queryVertexSource", X),
+        struct("queryVertexInDegree", X, 0),
+    ))
+    rules.append(rule(
+        struct("queryVertexSink", X),
+        struct("queryVertexOutDegree", X, 0),
+    ))
+    rules.append(rule(
+        struct("queryIncomingVertices", X, var("INLIST")),
+        struct("queryVertex", X),
+        struct("findall", var("SRC"),
+               struct("queryAnyEdge", var("SRC"), X), var("INLIST")),
+    ))
+    rules.append(rule(
+        struct("queryOutgoingVertices", X, var("OUTLIST")),
+        struct("queryVertex", X),
+        struct("findall", var("DST"),
+               struct("queryAnyEdge", X, var("DST")), var("OUTLIST")),
+    ))
+    rules.append(rule(
+        struct("queryVertexInDegree", X, var("D")),
+        struct("queryIncomingVertices", X, var("INLIST")),
+        struct("length", var("INLIST"), var("D")),
+    ))
+    rules.append(rule(
+        struct("queryVertexOutDegree", X, var("D")),
+        struct("queryOutgoingVertices", X, var("OUTLIST")),
+        struct("length", var("OUTLIST"), var("D")),
+    ))
+
+    # queryAnyEdge also counts variable-length paths as adjacency, so that the
+    # source/sink analysis sees the whole query chain of Listing 1.
+    rules.append(rule(
+        struct("queryAnyEdge", X, Y),
+        struct("queryEdge", X, Y),
+    ))
+    rules.append(rule(
+        struct("queryAnyEdge", X, Y),
+        struct("queryVariableLengthPath", X, Y, var("_Lo"), var("_Up")),
+    ))
+    return rules
+
+
+def mining_rules() -> list[Rule]:
+    """The full constraint mining rule library (schema + query rules)."""
+    return schema_mining_rules() + query_mining_rules()
+
+
+def k_hop_schema_paths_procedural(schema_edges: list[tuple[str, str, str]] | GraphSchema,
+                                  k: int) -> list[list[tuple[str, str, str]]]:
+    """Procedural version of the ``schemaKHopPath`` mining rule (Algorithm 1).
+
+    The paper provides this to contrast with the declarative rule: it is more
+    code and, crucially, it cannot be injected into the inference engine
+    alongside the query constraints, so it explores the full schema-path space
+    instead of only the k values the query can use.  We use it as the baseline
+    in the search-space reduction benchmark.
+
+    Args:
+        schema_edges: Either a list of ``(source_type, target_type, label)``
+            triples or a :class:`GraphSchema`.
+        k: Path length.
+
+    Returns:
+        All k-length schema paths (trail semantics, mirroring Listing 2) as
+        lists of edge triples.
+    """
+    if isinstance(schema_edges, GraphSchema):
+        edges = [(et.source, et.target, et.label) for et in schema_edges.edge_types]
+    else:
+        edges = list(schema_edges)
+    if k < 1:
+        return []
+
+    def recurse(paths: list[list[tuple[str, str, str]]], current_k: int
+                ) -> list[list[tuple[str, str, str]]]:
+        if current_k == 0:
+            return [p for p in paths if len(p) == k]
+        if current_k == k:
+            new_paths = [[e] for e in edges]
+            return recurse(new_paths, current_k - 1)
+        new_paths: list[list[tuple[str, str, str]]] = []
+        for path in paths:
+            src, dst = path[0][0], path[-1][1]
+            visited = {e[0] for e in path} | {path[-1][1]}
+            for edge in edges:
+                # Extend at the end of the path.
+                if dst == edge[0] and edge[1] not in visited - {path[0][0]}:
+                    new_paths.append(path + [edge])
+                # Extend at the front of the path.
+                if src == edge[1] and edge[0] not in visited - {path[-1][1]}:
+                    new_paths.append([edge] + path)
+        # Deduplicate and keep only paths that grew this round.
+        unique: list[list[tuple[str, str, str]]] = []
+        seen: set[tuple[tuple[str, str, str], ...]] = set()
+        target_length = k - current_k + 1
+        for path in new_paths:
+            key = tuple(path)
+            if len(path) == target_length and key not in seen:
+                seen.add(key)
+                unique.append(path)
+        return recurse(unique, current_k - 1)
+
+    return recurse([], k)

@@ -1,0 +1,155 @@
+"""View selection (§V-B).
+
+Given a query workload, view selection determines the most effective views to
+materialize under a space budget.  The problem is formulated as a 0-1 knapsack
+(the OR-tools role is played by :mod:`repro.solver.knapsack`):
+
+* items  — candidate views from the constraint-based enumerator,
+* weight — estimated view size (edges),
+* value  — summed per-query performance improvement divided by the view's
+  creation cost (optionally weighted per query, e.g. by frequency),
+* capacity — the space budget dedicated to materialized views.
+
+Candidates produced for different queries that describe the same view (same
+definition signature) are merged into a single knapsack item whose value
+accumulates every query's improvement — the "performance improvement of v for
+Q is the sum of v's improvement for each query in Q" formulation of §V-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.cost_model import CandidateAssessment, ViewBenefit, ViewCostModel
+from repro.core.enumerator import ViewEnumerator
+from repro.core.rewriter import RewrittenQuery
+from repro.core.templates import ViewCandidate
+from repro.errors import SelectionError
+from repro.query.ast import GraphQuery
+from repro.solver.knapsack import KnapsackItem, solve
+
+
+@dataclass
+class SelectionResult:
+    """Output of view selection for a workload."""
+
+    selected: list[CandidateAssessment] = field(default_factory=list)
+    rejected: list[CandidateAssessment] = field(default_factory=list)
+    budget: float = 0.0
+    total_weight: float = 0.0
+    total_value: float = 0.0
+
+    @property
+    def selected_candidates(self) -> list[ViewCandidate]:
+        return [assessment.candidate for assessment in self.selected]
+
+    def rewrites_for(self, query: GraphQuery) -> list[RewrittenQuery]:
+        """Rewrites of ``query`` that the selected views enable (§V-B byproduct)."""
+        key = query.name or str(id(query))
+        rewrites = []
+        for assessment in self.selected:
+            rewrite = assessment.rewrites.get(key)
+            if rewrite is not None:
+                rewrites.append(rewrite)
+        return rewrites
+
+    def __len__(self) -> int:
+        return len(self.selected)
+
+
+class ViewSelector:
+    """Selects the views to materialize for a workload under a space budget."""
+
+    def __init__(self, enumerator: ViewEnumerator, cost_model: ViewCostModel,
+                 knapsack_method: str = "branch_and_bound") -> None:
+        self.enumerator = enumerator
+        self.cost_model = cost_model
+        self.knapsack_method = knapsack_method
+
+    def select(self, workload: Sequence[GraphQuery], budget: float,
+               query_weights: Mapping[str, float] | None = None) -> SelectionResult:
+        """Select views for a workload.
+
+        Args:
+            workload: Queries the views should speed up.
+            budget: Space budget in estimated edges.
+            query_weights: Optional per-query weights (e.g. relative frequency)
+                applied to each query's improvement, keyed by query name.
+
+        Raises:
+            SelectionError: If the budget is negative.
+        """
+        if budget < 0:
+            raise SelectionError(f"budget must be >= 0, got {budget}")
+        assessments = self.assess_workload(workload, query_weights)
+
+        # Candidates that help no query, or that cannot possibly fit, are
+        # rejected up-front; the knapsack only sees useful, feasible items.
+        useful = [a for a in assessments
+                  if a.total_improvement > 0 and a.knapsack_weight <= budget]
+        rejected = [a for a in assessments if a not in useful]
+
+        items = [
+            KnapsackItem(value=a.knapsack_value, weight=a.knapsack_weight, payload=a)
+            for a in useful
+        ]
+        solution = solve(items, budget, method=self.knapsack_method)
+        chosen_indexes = set(solution.chosen)
+        selected = [useful[i] for i in range(len(useful)) if i in chosen_indexes]
+        rejected.extend(useful[i] for i in range(len(useful)) if i not in chosen_indexes)
+
+        return SelectionResult(
+            selected=selected,
+            rejected=rejected,
+            budget=budget,
+            total_weight=solution.total_weight,
+            total_value=solution.total_value,
+        )
+
+    def assess_workload(self, workload: Sequence[GraphQuery],
+                        query_weights: Mapping[str, float] | None = None
+                        ) -> list[CandidateAssessment]:
+        """Enumerate and assess every distinct candidate view for a workload.
+
+        Candidates with the same definition signature (derived from different
+        queries) are merged: their benefits accumulate into one assessment.
+        """
+        weights = dict(query_weights or {})
+        grouped: dict[tuple, list[tuple[ViewCandidate, GraphQuery]]] = {}
+        order: list[tuple] = []
+
+        for query, result in zip(workload, self.enumerator.enumerate_workload(workload)):
+            for candidate in result.candidates:
+                signature = candidate.definition.signature()
+                if signature not in grouped:
+                    grouped[signature] = []
+                    order.append(signature)
+                grouped[signature].append((candidate, query))
+
+        assessments: list[CandidateAssessment] = []
+        for signature in order:
+            group = grouped[signature]
+            representative = group[0][0]
+            size = self.cost_model.view_size(representative)
+            assessment = CandidateAssessment(
+                candidate=representative,
+                size_estimate=size,
+                creation_cost=self.cost_model.creation_cost(representative, size),
+            )
+            for candidate, query in group:
+                query_key = query.name or str(id(query))
+                rewrite = self.cost_model.rewriter.rewrite(query, candidate)
+                if rewrite is None:
+                    continue
+                raw_cost = self.cost_model.query_cost(query)
+                raw_cost *= weights.get(query_key, 1.0)
+                rewritten_cost = self.cost_model.rewritten_query_cost(rewrite, size)
+                assessment.benefits.append(ViewBenefit(
+                    query_name=query_key,
+                    raw_cost=raw_cost,
+                    rewritten_cost=rewritten_cost,
+                ))
+                assessment.rewrites[query_key] = rewrite
+            assessments.append(assessment)
+        return assessments

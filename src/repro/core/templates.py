@@ -1,0 +1,393 @@
+"""View templates expressed as inference rules (§IV-B, Listings 3 and 5).
+
+A *view template* is an inference rule whose head describes a family of graph
+views and whose body combines explicit query/schema constraints with the
+constraint mining rules.  Enumerating candidate views is simply evaluating the
+template heads against the fact base — the inference engine does the search
+and the injected constraints prune it.
+
+Each template is registered with a converter that turns a unification (a
+solution binding) into a :class:`~repro.views.definitions.ViewDefinition` plus
+rewrite hints (which query variables the view's endpoints correspond to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.inference.terms import Rule, Struct, rule, struct, var
+from repro.query.ast import GraphQuery
+from repro.views.definitions import ConnectorView, SummarizerView, ViewDefinition
+
+
+@dataclass(frozen=True)
+class ViewCandidate:
+    """A candidate view produced by enumeration.
+
+    Attributes:
+        definition: The declarative view specification.
+        template: Name of the view template that produced it.
+        bindings: The template-variable bindings of the unification.
+        source_variable / target_variable: Query variables that map to the
+            view's endpoint vertices (used when rewriting the query).
+        query_name: Name of the query the candidate was derived for.
+    """
+
+    definition: ViewDefinition
+    template: str
+    bindings: tuple[tuple[str, Any], ...] = ()
+    source_variable: str | None = None
+    target_variable: str | None = None
+    query_name: str = ""
+
+    def binding(self, name: str, default: Any = None) -> Any:
+        """Look up one template-variable binding."""
+        return dict(self.bindings).get(name, default)
+
+
+@dataclass(frozen=True)
+class ViewTemplate:
+    """A named template: goal to evaluate + converter from solutions to candidates."""
+
+    name: str
+    goal: Struct
+    rules: tuple[Rule, ...]
+    converter: Callable[[Mapping[str, Any], GraphQuery], ViewCandidate | None]
+
+    def convert(self, solution: Mapping[str, Any], query: GraphQuery) -> ViewCandidate | None:
+        """Convert one inference solution into a view candidate (or None to skip)."""
+        return self.converter(solution, query)
+
+
+# --------------------------------------------------------------------- helpers
+def _candidate_name(prefix: str, *parts: Any) -> str:
+    rendered = "_".join(str(p).lower() for p in parts if p is not None)
+    return f"{prefix}_{rendered}" if rendered else prefix
+
+
+def _max_hops_for_query(query: GraphQuery) -> int:
+    """Upper bound on hops implied by the query (for variable-length templates)."""
+    return max((path.hop_bounds()[1] for path in query.match), default=8)
+
+
+def _endpoints_projected(solution: Mapping[str, Any], query: GraphQuery) -> bool:
+    """Whether both connector endpoints are projected out of the MATCH clause.
+
+    §IV-B enumerates connector instantiations "for query vertices q_j1 and
+    q_j2 (the only vertices projected out of the MATCH clause)": connectors
+    whose endpoints are not used downstream would not help rewriting, so they
+    are pruned here.  Queries without a RETURN clause keep every candidate.
+    """
+    projected = query.projected_variables()
+    if not projected:
+        return True
+    return solution.get("X") in projected and solution.get("Y") in projected
+
+
+# ------------------------------------------------------------------ connectors
+def _k_hop_connector_rules() -> tuple[Rule, ...]:
+    X, Y = var("X"), var("Y")
+    XT, YT, K = var("XTYPE"), var("YTYPE"), var("K")
+    k_hop = rule(
+        struct("kHopConnector", X, Y, XT, YT, K),
+        # query constraints
+        struct("queryVertexType", X, XT),
+        struct("queryVertexType", Y, YT),
+        struct("queryKHopPath", X, Y, K),
+        # schema constraints
+        struct("schemaKHopPath", XT, YT, K),
+    )
+    same_type = rule(
+        struct("kHopConnectorSameVertexType", X, Y, var("VTYPE"), K),
+        struct("kHopConnector", X, Y, var("VTYPE"), var("VTYPE"), K),
+    )
+    return (k_hop, same_type)
+
+
+def _convert_k_hop_connector(solution: Mapping[str, Any],
+                             query: GraphQuery) -> ViewCandidate | None:
+    if not _endpoints_projected(solution, query):
+        return None
+    k = int(solution["K"])
+    source_type = solution["XTYPE"]
+    target_type = solution["YTYPE"]
+    definition = ConnectorView(
+        name=_candidate_name("connector", source_type, "to", target_type, f"{k}hop"),
+        connector_kind="k_hop_same_vertex_type" if source_type == target_type else "k_hop",
+        source_type=source_type,
+        target_type=target_type,
+        k=k,
+    )
+    return ViewCandidate(
+        definition=definition,
+        template="kHopConnector",
+        bindings=tuple(sorted(solution.items())),
+        source_variable=solution.get("X"),
+        target_variable=solution.get("Y"),
+        query_name=query.name,
+    )
+
+
+def _convert_k_hop_same_type(solution: Mapping[str, Any],
+                             query: GraphQuery) -> ViewCandidate | None:
+    if not _endpoints_projected(solution, query):
+        return None
+    k = int(solution["K"])
+    vertex_type = solution["VTYPE"]
+    definition = ConnectorView(
+        name=_candidate_name("connector", vertex_type, "to", vertex_type, f"{k}hop"),
+        connector_kind="k_hop_same_vertex_type",
+        source_type=vertex_type,
+        target_type=vertex_type,
+        k=k,
+    )
+    return ViewCandidate(
+        definition=definition,
+        template="kHopConnectorSameVertexType",
+        bindings=tuple(sorted(solution.items())),
+        source_variable=solution.get("X"),
+        target_variable=solution.get("Y"),
+        query_name=query.name,
+    )
+
+
+def _connector_same_vertex_type_rules() -> tuple[Rule, ...]:
+    X, Y, VT = var("X"), var("Y"), var("VTYPE")
+    return (
+        rule(
+            struct("connectorSameVertexType", X, Y, VT),
+            # query constraints
+            struct("queryVertexType", X, VT),
+            struct("queryVertexType", Y, VT),
+            struct("\\==", X, Y),
+            struct("queryPath", X, Y),
+            # schema constraints
+            struct("schemaPath", VT, VT),
+        ),
+    )
+
+
+def _convert_same_vertex_type(solution: Mapping[str, Any],
+                              query: GraphQuery) -> ViewCandidate | None:
+    if not _endpoints_projected(solution, query):
+        return None
+    vertex_type = solution["VTYPE"]
+    definition = ConnectorView(
+        name=_candidate_name("connector", vertex_type, "paths"),
+        connector_kind="same_vertex_type",
+        source_type=vertex_type,
+        target_type=vertex_type,
+        max_hops=_max_hops_for_query(query),
+    )
+    return ViewCandidate(
+        definition=definition,
+        template="connectorSameVertexType",
+        bindings=tuple(sorted(solution.items())),
+        source_variable=solution.get("X"),
+        target_variable=solution.get("Y"),
+        query_name=query.name,
+    )
+
+
+def _source_to_sink_rules() -> tuple[Rule, ...]:
+    X, Y = var("X"), var("Y")
+    feasible_both = rule(
+        struct("schemaFeasiblePath", X, Y),
+        struct("queryVertexType", X, var("XT")),
+        struct("queryVertexType", Y, var("YT")),
+        struct("schemaPath", var("XT"), var("YT")),
+    )
+    feasible_untyped_source = rule(
+        struct("schemaFeasiblePath", X, Y),
+        struct("not", struct("queryVertexType", X, var("_T1"))),
+    )
+    feasible_untyped_target = rule(
+        struct("schemaFeasiblePath", X, Y),
+        struct("not", struct("queryVertexType", Y, var("_T2"))),
+    )
+    connector = rule(
+        struct("sourceToSinkConnector", X, Y),
+        # query constraints
+        struct("queryVertexSource", X),
+        struct("queryVertexSink", Y),
+        struct("queryPath", X, Y),
+        # schema constraints
+        struct("schemaFeasiblePath", X, Y),
+    )
+    return (feasible_both, feasible_untyped_source, feasible_untyped_target, connector)
+
+
+def _convert_source_to_sink(solution: Mapping[str, Any],
+                            query: GraphQuery) -> ViewCandidate | None:
+    source_variable = solution.get("X")
+    target_variable = solution.get("Y")
+    definition = ConnectorView(
+        name=_candidate_name("connector", "source_to_sink",
+                             query.variable_label(source_variable or ""),
+                             query.variable_label(target_variable or "")),
+        connector_kind="source_to_sink",
+        source_type=query.variable_label(source_variable or ""),
+        target_type=query.variable_label(target_variable or ""),
+        max_hops=_max_hops_for_query(query),
+    )
+    return ViewCandidate(
+        definition=definition,
+        template="sourceToSinkConnector",
+        bindings=tuple(sorted(solution.items())),
+        source_variable=source_variable,
+        target_variable=target_variable,
+        query_name=query.name,
+    )
+
+
+# ----------------------------------------------------------------- summarizers
+def _summarizer_rules() -> tuple[Rule, ...]:
+    """Summarizer templates (Listing 5, adapted to grounded enumeration).
+
+    ``summarizerKeepVertexType(T)`` holds for every vertex type the query
+    references; ``summarizerRemoveVertexType(T)`` for every schema vertex type
+    the query does *not* reference (those can be filtered out without
+    affecting the query); similarly for edge labels.
+    """
+    T, L = var("T"), var("L")
+    return (
+        rule(
+            struct("summarizerKeepVertexType", T),
+            struct("queryVertexType", var("_V"), T),
+        ),
+        rule(
+            struct("summarizerRemoveVertexType", T),
+            struct("schemaVertex", T),
+            struct("not", struct("queryVertexType", var("_V2"), T)),
+        ),
+        rule(
+            struct("summarizerKeepEdgeLabel", L),
+            struct("queryEdgeType", var("_S"), var("_D"), L),
+        ),
+        rule(
+            struct("summarizerRemoveEdgeLabel", L),
+            struct("schemaEdge", var("_S2"), var("_D2"), L),
+            struct("not", struct("queryEdgeType", var("_S3"), var("_D3"), L)),
+        ),
+    )
+
+
+def _convert_keep_vertex_types(solutions: list[Mapping[str, Any]],
+                               query: GraphQuery) -> ViewCandidate | None:
+    """Aggregate converter: all kept vertex types become one inclusion summarizer."""
+    types = sorted({solution["T"] for solution in solutions})
+    if not types:
+        return None
+    definition = SummarizerView(
+        name=_candidate_name("summarizer_keep", *types),
+        summarizer_kind="vertex_inclusion",
+        vertex_types=tuple(types),
+    )
+    return ViewCandidate(
+        definition=definition,
+        template="summarizerKeepVertexType",
+        bindings=tuple(("T", t) for t in types),
+        query_name=query.name,
+    )
+
+
+def _convert_remove_edge_labels(solutions: list[Mapping[str, Any]],
+                                query: GraphQuery) -> ViewCandidate | None:
+    labels = sorted({solution["L"] for solution in solutions})
+    if not labels:
+        return None
+    definition = SummarizerView(
+        name=_candidate_name("summarizer_drop_edges", *labels),
+        summarizer_kind="edge_removal",
+        edge_labels=tuple(labels),
+    )
+    return ViewCandidate(
+        definition=definition,
+        template="summarizerRemoveEdgeLabel",
+        bindings=tuple(("L", label) for label in labels),
+        query_name=query.name,
+    )
+
+
+# --------------------------------------------------------------------- library
+@dataclass(frozen=True)
+class AggregateTemplate:
+    """A template whose solutions are combined into a single candidate."""
+
+    name: str
+    goal: Struct
+    rules: tuple[Rule, ...]
+    converter: Callable[[list[Mapping[str, Any]], GraphQuery], ViewCandidate | None]
+
+
+def connector_templates() -> list[ViewTemplate]:
+    """Per-solution connector templates (each solution is one candidate)."""
+    k_hop_rules = _k_hop_connector_rules()
+    return [
+        ViewTemplate(
+            name="kHopConnectorSameVertexType",
+            goal=struct("kHopConnectorSameVertexType",
+                        var("X"), var("Y"), var("VTYPE"), var("K")),
+            rules=k_hop_rules,
+            converter=_convert_k_hop_same_type,
+        ),
+        ViewTemplate(
+            name="kHopConnector",
+            goal=struct("kHopConnector",
+                        var("X"), var("Y"), var("XTYPE"), var("YTYPE"), var("K")),
+            rules=k_hop_rules,
+            converter=_convert_k_hop_connector,
+        ),
+        ViewTemplate(
+            name="connectorSameVertexType",
+            goal=struct("connectorSameVertexType", var("X"), var("Y"), var("VTYPE")),
+            rules=_connector_same_vertex_type_rules(),
+            converter=_convert_same_vertex_type,
+        ),
+        ViewTemplate(
+            name="sourceToSinkConnector",
+            goal=struct("sourceToSinkConnector", var("X"), var("Y")),
+            rules=_source_to_sink_rules(),
+            converter=_convert_source_to_sink,
+        ),
+    ]
+
+
+def summarizer_templates() -> list[AggregateTemplate]:
+    """Aggregate summarizer templates (all solutions fold into one candidate)."""
+    rules = _summarizer_rules()
+    return [
+        AggregateTemplate(
+            name="summarizerKeepVertexType",
+            goal=struct("summarizerKeepVertexType", var("T")),
+            rules=rules,
+            converter=_convert_keep_vertex_types,
+        ),
+        AggregateTemplate(
+            name="summarizerRemoveEdgeLabel",
+            goal=struct("summarizerRemoveEdgeLabel", var("L")),
+            rules=rules,
+            converter=_convert_remove_edge_labels,
+        ),
+    ]
+
+
+def all_template_rules() -> list[Rule]:
+    """Every rule contributed by the template library (for engine setup)."""
+    rules: list[Rule] = []
+    seen: set[str] = set()
+    for template in connector_templates():
+        if template.name not in seen:
+            rules.extend(template.rules)
+            seen.add(template.name)
+    rules.extend(_summarizer_rules())
+    # The two k-hop templates share their rule tuple; deduplicate identical rules.
+    unique: list[Rule] = []
+    seen_repr: set[str] = set()
+    for item in rules:
+        key = str(item)
+        if key not in seen_repr:
+            seen_repr.add(key)
+            unique.append(item)
+    return unique

@@ -1,0 +1,38 @@
+"""Synthetic stand-ins for the paper's evaluation datasets (Table III).
+
+The proprietary Microsoft provenance graph and the public GraphDBLP /
+soc-LiveJournal1 / roadnet-usa datasets are replaced by deterministic
+generators that preserve the schema and degree-distribution shape each
+experiment depends on (see DESIGN.md for the substitution rationale).
+"""
+
+from repro.datasets.provenance import provenance_graph, summarized_provenance_graph
+from repro.datasets.dblp import dblp_graph, summarized_dblp_graph
+from repro.datasets.social import social_graph
+from repro.datasets.roadnet import roadnet_graph
+from repro.datasets.random_graphs import erdos_renyi_graph, power_law_graph
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    SCALES,
+    DatasetSpec,
+    dataset,
+    evaluation_datasets,
+    load_dataset,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "SCALES",
+    "dataset",
+    "dblp_graph",
+    "erdos_renyi_graph",
+    "evaluation_datasets",
+    "load_dataset",
+    "power_law_graph",
+    "provenance_graph",
+    "roadnet_graph",
+    "social_graph",
+    "summarized_dblp_graph",
+    "summarized_provenance_graph",
+]

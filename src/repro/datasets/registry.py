@@ -1,0 +1,117 @@
+"""Dataset registry: named, size-parameterized stand-ins for Table III.
+
+The benchmarks refer to datasets by the paper's short names (``prov``,
+``dblp``, ``soc-livejournal``, ``roadnet-usa``); this registry maps those
+names to generator calls at three scale presets (``tiny`` for unit tests,
+``small`` for the default benchmark runs, ``medium`` for longer runs), all
+deterministic given the seed baked into each preset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import DatasetError
+from repro.graph.property_graph import PropertyGraph
+from repro.datasets.dblp import dblp_graph, summarized_dblp_graph
+from repro.datasets.provenance import provenance_graph, summarized_provenance_graph
+from repro.datasets.roadnet import roadnet_graph
+from repro.datasets.social import social_graph
+
+#: Dataset short names used throughout the benchmarks (Table III).
+DATASET_NAMES = ("prov", "prov-summarized", "dblp", "dblp-summarized",
+                 "soc-livejournal", "roadnet-usa")
+
+#: Scale presets.
+SCALES = ("tiny", "small", "medium")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset at a specific scale."""
+
+    name: str
+    scale: str
+    builder: Callable[[], PropertyGraph]
+    heterogeneous: bool
+    connector_vertex_type: str
+    description: str
+
+    def build(self) -> PropertyGraph:
+        """Generate the graph (deterministic for a given name and scale)."""
+        return self.builder()
+
+
+def _presets() -> dict[tuple[str, str], DatasetSpec]:
+    prov_sizes = {"tiny": 40, "small": 150, "medium": 600}
+    dblp_sizes = {"tiny": (40, 60), "small": (200, 300), "medium": (800, 1200)}
+    soc_sizes = {"tiny": 150, "small": 800, "medium": 3000}
+    road_sizes = {"tiny": 10, "small": 25, "medium": 60}
+
+    specs: dict[tuple[str, str], DatasetSpec] = {}
+    for scale in SCALES:
+        specs[("prov", scale)] = DatasetSpec(
+            name="prov", scale=scale,
+            builder=lambda s=scale: provenance_graph(
+                num_jobs=prov_sizes[s], include_tasks=True, seed=7),
+            heterogeneous=True, connector_vertex_type="Job",
+            description="Data lineage graph (jobs, files, tasks, machines, users)")
+        specs[("prov-summarized", scale)] = DatasetSpec(
+            name="prov-summarized", scale=scale,
+            builder=lambda s=scale: summarized_provenance_graph(
+                num_jobs=prov_sizes[s], seed=7),
+            heterogeneous=True, connector_vertex_type="Job",
+            description="Provenance graph summarized to jobs and files")
+        specs[("dblp", scale)] = DatasetSpec(
+            name="dblp", scale=scale,
+            builder=lambda s=scale: dblp_graph(
+                num_authors=dblp_sizes[s][0], num_publications=dblp_sizes[s][1], seed=13),
+            heterogeneous=True, connector_vertex_type="Author",
+            description="Publication graph (authors, articles, in-proc, venues)")
+        specs[("dblp-summarized", scale)] = DatasetSpec(
+            name="dblp-summarized", scale=scale,
+            builder=lambda s=scale: summarized_dblp_graph(
+                num_authors=dblp_sizes[s][0], num_publications=dblp_sizes[s][1], seed=13),
+            heterogeneous=True, connector_vertex_type="Author",
+            description="Publication graph summarized to authors and publications")
+        specs[("soc-livejournal", scale)] = DatasetSpec(
+            name="soc-livejournal", scale=scale,
+            builder=lambda s=scale: social_graph(num_vertices=soc_sizes[s], seed=29),
+            heterogeneous=False, connector_vertex_type="Vertex",
+            description="Power-law social network (directed preferential attachment)")
+        specs[("roadnet-usa", scale)] = DatasetSpec(
+            name="roadnet-usa", scale=scale,
+            builder=lambda s=scale: roadnet_graph(
+                width=road_sizes[s], height=road_sizes[s], seed=41),
+            heterogeneous=False, connector_vertex_type="Vertex",
+            description="Near-planar road network (grid with perturbations)")
+    return specs
+
+
+_PRESETS = _presets()
+
+
+def dataset(name: str, scale: str = "small") -> DatasetSpec:
+    """Look up a dataset spec by name and scale.
+
+    Raises:
+        DatasetError: If the name or scale is unknown.
+    """
+    if scale not in SCALES:
+        raise DatasetError(f"unknown scale {scale!r}; expected one of {SCALES}")
+    spec = _PRESETS.get((name, scale))
+    if spec is None:
+        raise DatasetError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")
+    return spec
+
+
+def load_dataset(name: str, scale: str = "small") -> PropertyGraph:
+    """Generate the named dataset at the given scale."""
+    return dataset(name, scale).build()
+
+
+def evaluation_datasets(scale: str = "small") -> list[DatasetSpec]:
+    """The four datasets of Table III (prov, dblp, soc-livejournal, roadnet-usa)."""
+    return [dataset(name, scale)
+            for name in ("prov", "dblp", "soc-livejournal", "roadnet-usa")]

@@ -1,0 +1,68 @@
+"""Synthetic road network (the roadnet-usa stand-in).
+
+roadnet-usa is a near-planar graph with low, near-uniform degrees and very
+long paths (§VII-B, Fig. 8 shows it is the one dataset *without* a power-law
+degree distribution).  The generator lays vertices on a grid and connects each
+to its lattice neighbours, with a small perturbation probability that removes
+edges (dead ends) and adds occasional diagonals (shortcuts), giving degree
+2-4 almost everywhere.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import DatasetError
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.schema import homogeneous_schema
+
+
+def roadnet_graph(
+    width: int = 40,
+    height: int = 40,
+    drop_probability: float = 0.05,
+    diagonal_probability: float = 0.02,
+    seed: int = 41,
+    vertex_type: str = "Vertex",
+    edge_label: str = "ROAD",
+) -> PropertyGraph:
+    """Generate a grid-based road network with bidirectional road segments.
+
+    Args:
+        width / height: Grid dimensions (``width * height`` intersections).
+        drop_probability: Probability that a lattice segment is missing.
+        diagonal_probability: Probability of an extra diagonal shortcut.
+        seed: RNG seed.
+
+    Raises:
+        DatasetError: On non-positive dimensions.
+    """
+    if width < 2 or height < 2:
+        raise DatasetError("width and height must be >= 2")
+    rng = random.Random(seed)
+    graph = PropertyGraph(name="roadnet-usa",
+                          schema=homogeneous_schema(vertex_type, edge_label))
+
+    def vertex_id(x: int, y: int) -> int:
+        return y * width + x
+
+    for y in range(height):
+        for x in range(width):
+            graph.add_vertex(vertex_id(x, y), vertex_type, x=x, y=y)
+
+    def add_road(a: int, b: int) -> None:
+        length = rng.uniform(0.1, 5.0)
+        graph.add_edge(a, b, edge_label, km=round(length, 2))
+        graph.add_edge(b, a, edge_label, km=round(length, 2))
+
+    for y in range(height):
+        for x in range(width):
+            here = vertex_id(x, y)
+            if x + 1 < width and rng.random() > drop_probability:
+                add_road(here, vertex_id(x + 1, y))
+            if y + 1 < height and rng.random() > drop_probability:
+                add_road(here, vertex_id(x, y + 1))
+            if (x + 1 < width and y + 1 < height
+                    and rng.random() < diagonal_probability):
+                add_road(here, vertex_id(x + 1, y + 1))
+    return graph

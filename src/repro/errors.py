@@ -1,0 +1,87 @@
+"""Exception hierarchy shared across the Kaskade reproduction.
+
+Every subpackage raises exceptions derived from :class:`KaskadeError` so that
+callers embedding the library can catch a single base class, while tests can
+assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class KaskadeError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(KaskadeError):
+    """Raised when a graph schema is malformed or a schema constraint is violated."""
+
+
+class GraphError(KaskadeError):
+    """Raised for invalid operations on a :class:`~repro.graph.PropertyGraph`."""
+
+
+class VertexNotFoundError(GraphError):
+    """Raised when a vertex id is referenced but not present in the graph."""
+
+    def __init__(self, vertex_id: object) -> None:
+        super().__init__(f"vertex {vertex_id!r} does not exist")
+        self.vertex_id = vertex_id
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when an edge id is referenced but not present in the graph."""
+
+    def __init__(self, edge_id: object) -> None:
+        super().__init__(f"edge {edge_id!r} does not exist")
+        self.edge_id = edge_id
+
+
+class QueryError(KaskadeError):
+    """Base class for query-layer errors."""
+
+
+class QuerySyntaxError(QueryError):
+    """Raised when the Cypher-like query text cannot be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class QueryExecutionError(QueryError):
+    """Raised when a parsed query cannot be evaluated against a graph."""
+
+
+class InferenceError(KaskadeError):
+    """Base class for errors in the Prolog-like inference engine."""
+
+
+class UnknownPredicateError(InferenceError):
+    """Raised when resolution reaches a predicate with no facts, rules, or builtin."""
+
+    def __init__(self, name: str, arity: int) -> None:
+        super().__init__(f"unknown predicate {name}/{arity}")
+        self.name = name
+        self.arity = arity
+
+
+class ViewError(KaskadeError):
+    """Base class for errors in view definition, materialization, or rewriting."""
+
+
+class ViewNotMaterializedError(ViewError):
+    """Raised when a rewrite references a view that is not in the catalog."""
+
+
+class EstimationError(KaskadeError):
+    """Raised when a view size estimate cannot be computed (e.g. missing stats)."""
+
+
+class SelectionError(KaskadeError):
+    """Raised when view selection is given an infeasible or malformed problem."""
+
+
+class DatasetError(KaskadeError):
+    """Raised when a synthetic dataset generator receives invalid parameters."""

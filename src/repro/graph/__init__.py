@@ -1,0 +1,85 @@
+"""Property-graph substrate: data model, schema, statistics, transforms, IO.
+
+This subpackage replaces the role Neo4j plays in the paper: it stores typed
+property graphs, maintains the degree statistics the cost model needs, and
+provides the engine-agnostic transformations (filtering, grouping, path
+contraction) that graph views are built from.
+"""
+
+from repro.graph.property_graph import Edge, PropertyGraph, Vertex
+from repro.graph.schema import (
+    EdgeType,
+    GraphSchema,
+    dblp_schema,
+    homogeneous_schema,
+    provenance_schema,
+)
+from repro.graph.statistics import (
+    GraphStatistics,
+    TypeDegreeSummary,
+    compute_statistics,
+    count_k_length_paths,
+    degree_ccdf,
+    fit_power_law,
+    out_degree_histogram,
+    percentile,
+    summarize_counts_by_type,
+)
+from repro.graph.transform import (
+    contract_paths,
+    enumerate_k_hop_paths,
+    filter_graph,
+    group_vertices,
+    induced_subgraph_by_vertex_types,
+    remove_edges_by_label,
+    remove_vertices_by_type,
+    reverse_graph,
+    union,
+)
+from repro.graph.io import (
+    edge_prefix,
+    from_edge_tuples,
+    graph_from_dict,
+    graph_to_dict,
+    load_edge_list,
+    load_graph_json,
+    save_edge_list,
+    save_graph_json,
+)
+
+__all__ = [
+    "Edge",
+    "EdgeType",
+    "GraphSchema",
+    "GraphStatistics",
+    "PropertyGraph",
+    "TypeDegreeSummary",
+    "Vertex",
+    "compute_statistics",
+    "contract_paths",
+    "count_k_length_paths",
+    "dblp_schema",
+    "degree_ccdf",
+    "edge_prefix",
+    "enumerate_k_hop_paths",
+    "filter_graph",
+    "fit_power_law",
+    "from_edge_tuples",
+    "graph_from_dict",
+    "graph_to_dict",
+    "group_vertices",
+    "homogeneous_schema",
+    "induced_subgraph_by_vertex_types",
+    "load_edge_list",
+    "load_graph_json",
+    "out_degree_histogram",
+    "percentile",
+    "provenance_schema",
+    "remove_edges_by_label",
+    "remove_vertices_by_type",
+    "reverse_graph",
+    "save_edge_list",
+    "save_graph_json",
+    "summarize_counts_by_type",
+    "union",
+]

@@ -1,0 +1,153 @@
+"""Graph serialization: JSON documents and typed edge-list files.
+
+Kaskade materializes views as physical data objects (§III-C); in this
+reproduction a materialized view can be persisted to disk as a JSON document
+or a pair of CSV-like files (vertices + edges), and loaded back.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import GraphError
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.schema import GraphSchema
+
+
+def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
+    """Convert a graph to a JSON-serializable dictionary."""
+    return {
+        "name": graph.name,
+        "schema": graph.schema.to_dict() if graph.schema is not None else None,
+        "vertices": [
+            {"id": v.id, "type": v.type, "properties": v.properties}
+            for v in graph.vertices()
+        ],
+        "edges": [
+            {
+                "source": e.source,
+                "target": e.target,
+                "label": e.label,
+                "properties": e.properties,
+            }
+            for e in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(payload: dict[str, Any]) -> PropertyGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    schema_payload = payload.get("schema")
+    schema = GraphSchema.from_dict(schema_payload) if schema_payload else None
+    graph = PropertyGraph(name=payload.get("name", "graph"), schema=schema)
+    for vertex in payload.get("vertices", ()):
+        graph.add_vertex(vertex["id"], vertex["type"], **vertex.get("properties", {}))
+    for edge in payload.get("edges", ()):
+        graph.add_edge(edge["source"], edge["target"], edge["label"],
+                       **edge.get("properties", {}))
+    return graph
+
+
+def save_graph_json(graph: PropertyGraph, path: str | Path) -> Path:
+    """Write the graph as a JSON document; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(graph_to_dict(graph), handle)
+    return path
+
+
+def load_graph_json(path: str | Path) -> PropertyGraph:
+    """Load a graph previously written by :func:`save_graph_json`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return graph_from_dict(payload)
+
+
+def save_edge_list(graph: PropertyGraph, vertices_path: str | Path,
+                   edges_path: str | Path) -> tuple[Path, Path]:
+    """Write the graph as two CSV files: ``id,type`` vertices and ``source,target,label`` edges.
+
+    Properties are serialized as a JSON column so round-tripping is lossless.
+    """
+    vertices_path = Path(vertices_path)
+    edges_path = Path(edges_path)
+    vertices_path.parent.mkdir(parents=True, exist_ok=True)
+    edges_path.parent.mkdir(parents=True, exist_ok=True)
+
+    with vertices_path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "type", "properties"])
+        for vertex in graph.vertices():
+            writer.writerow([vertex.id, vertex.type, json.dumps(vertex.properties)])
+
+    with edges_path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["source", "target", "label", "properties"])
+        for edge in graph.edges():
+            writer.writerow([edge.source, edge.target, edge.label, json.dumps(edge.properties)])
+    return vertices_path, edges_path
+
+
+def load_edge_list(vertices_path: str | Path, edges_path: str | Path,
+                   name: str = "graph") -> PropertyGraph:
+    """Load a graph previously written by :func:`save_edge_list`."""
+    graph = PropertyGraph(name=name)
+    vertices_path = Path(vertices_path)
+    edges_path = Path(edges_path)
+    if not vertices_path.exists() or not edges_path.exists():
+        raise GraphError(
+            f"edge-list files not found: {vertices_path} / {edges_path}"
+        )
+    with vertices_path.open("r", encoding="utf-8", newline="") as handle:
+        for row in csv.DictReader(handle):
+            properties = json.loads(row.get("properties") or "{}")
+            graph.add_vertex(row["id"], row["type"], **properties)
+    with edges_path.open("r", encoding="utf-8", newline="") as handle:
+        for row in csv.DictReader(handle):
+            properties = json.loads(row.get("properties") or "{}")
+            graph.add_edge(row["source"], row["target"], row["label"], **properties)
+    return graph
+
+
+def edge_prefix(graph: PropertyGraph, num_edges: int, name: str | None = None) -> PropertyGraph:
+    """Graph consisting of the first ``num_edges`` edges (by insertion order).
+
+    Fig. 5 materializes 2-hop connectors "over the first n edges of each public
+    graph dataset"; this helper produces those prefixes.  Only vertices incident
+    to a kept edge are retained.
+    """
+    if num_edges < 0:
+        raise GraphError(f"num_edges must be >= 0, got {num_edges}")
+    result = PropertyGraph(name=name or f"{graph.name}|first-{num_edges}-edges",
+                           schema=graph.schema)
+    for index, edge in enumerate(graph.edges()):
+        if index >= num_edges:
+            break
+        for endpoint in (edge.source, edge.target):
+            if not result.has_vertex(endpoint):
+                vertex = graph.vertex(endpoint)
+                result.add_vertex(vertex.id, vertex.type, **vertex.properties)
+        result.add_edge(edge.source, edge.target, edge.label, **edge.properties)
+    return result
+
+
+def from_edge_tuples(
+    edges: Iterable[tuple[Any, Any]],
+    vertex_type: str = "Vertex",
+    label: str = "LINK",
+    name: str = "graph",
+) -> PropertyGraph:
+    """Build a homogeneous graph from plain ``(source, target)`` pairs."""
+    graph = PropertyGraph(name=name)
+    for source, target in edges:
+        if not graph.has_vertex(source):
+            graph.add_vertex(source, vertex_type)
+        if not graph.has_vertex(target):
+            graph.add_vertex(target, vertex_type)
+        graph.add_edge(source, target, label)
+    return graph

@@ -1,0 +1,425 @@
+"""In-memory property graph.
+
+This module is the storage substrate of the reproduction and plays the role
+Neo4j plays in the paper (§II, §VII-A): it stores typed vertices and edges with
+key-value properties, maintains adjacency indexes for fast traversal, and
+optionally validates inserts against a :class:`~repro.graph.schema.GraphSchema`.
+
+The design favours predictable, explicit data structures (dictionaries keyed by
+vertex/edge id, per-type indexes) over cleverness, so that traversal costs are
+easy to reason about in the cost model (§V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.errors import EdgeNotFoundError, GraphError, SchemaError, VertexNotFoundError
+from repro.graph.schema import GraphSchema
+
+VertexId = Any
+EdgeId = int
+
+
+@dataclass
+class Vertex:
+    """A typed vertex with arbitrary key-value properties."""
+
+    id: VertexId
+    type: str
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return a property value, or ``default`` when absent."""
+        return self.properties.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.properties[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.properties
+
+
+@dataclass
+class Edge:
+    """A typed, directed edge with arbitrary key-value properties."""
+
+    id: EdgeId
+    source: VertexId
+    target: VertexId
+    label: str
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return a property value, or ``default`` when absent."""
+        return self.properties.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.properties[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.properties
+
+    def other(self, vertex_id: VertexId) -> VertexId:
+        """Return the endpoint of this edge that is not ``vertex_id``."""
+        if vertex_id == self.source:
+            return self.target
+        if vertex_id == self.target:
+            return self.source
+        raise GraphError(f"vertex {vertex_id!r} is not an endpoint of edge {self.id}")
+
+
+class PropertyGraph:
+    """A directed, typed, property multigraph with adjacency indexes.
+
+    Example:
+        >>> g = PropertyGraph(name="lineage")
+        >>> g.add_vertex("j1", "Job", cpu=10.0)
+        Vertex(id='j1', type='Job', properties={'cpu': 10.0})
+        >>> g.add_vertex("f1", "File")
+        Vertex(id='f1', type='File', properties={})
+        >>> edge = g.add_edge("j1", "f1", "WRITES_TO")
+        >>> g.out_degree("j1")
+        1
+    """
+
+    def __init__(self, name: str = "graph", schema: GraphSchema | None = None,
+                 validate: bool = False) -> None:
+        """Create an empty graph.
+
+        Args:
+            name: Human-readable graph name (used in reports).
+            schema: Optional schema describing allowed vertex/edge types.
+            validate: When true (and a schema is given), every insert is checked
+                against the schema and violations raise :class:`SchemaError`.
+        """
+        self.name = name
+        self.schema = schema
+        self.validate = validate and schema is not None
+        self._vertices: dict[VertexId, Vertex] = {}
+        self._edges: dict[EdgeId, Edge] = {}
+        self._next_edge_id: EdgeId = 0
+        self._out: dict[VertexId, list[EdgeId]] = {}
+        self._in: dict[VertexId, list[EdgeId]] = {}
+        # Insertion-ordered per-type / per-label indexes (dicts as ordered sets)
+        # so iteration order is deterministic across processes.
+        self._vertices_by_type: dict[str, dict[VertexId, None]] = {}
+        self._edges_by_label: dict[str, dict[EdgeId, None]] = {}
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices currently in the graph."""
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges currently in the graph."""
+        return len(self._edges)
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PropertyGraph(name={self.name!r}, vertices={self.num_vertices}, "
+            f"edges={self.num_edges})"
+        )
+
+    # ---------------------------------------------------------------- vertices
+    def add_vertex(self, vertex_id: VertexId, vertex_type: str, **properties: Any) -> Vertex:
+        """Insert a vertex.  Re-inserting an existing id merges properties.
+
+        Raises:
+            SchemaError: If validation is on and the type is not in the schema.
+            GraphError: If the same id is re-inserted with a different type.
+        """
+        if self.validate and self.schema is not None and not self.schema.has_vertex_type(vertex_type):
+            raise SchemaError(
+                f"vertex type {vertex_type!r} is not declared in schema {self.schema.name!r}"
+            )
+        existing = self._vertices.get(vertex_id)
+        if existing is not None:
+            if existing.type != vertex_type:
+                raise GraphError(
+                    f"vertex {vertex_id!r} already exists with type {existing.type!r}, "
+                    f"cannot re-add with type {vertex_type!r}"
+                )
+            existing.properties.update(properties)
+            return existing
+        vertex = Vertex(id=vertex_id, type=vertex_type, properties=dict(properties))
+        self._vertices[vertex_id] = vertex
+        self._out[vertex_id] = []
+        self._in[vertex_id] = []
+        self._vertices_by_type.setdefault(vertex_type, {})[vertex_id] = None
+        return vertex
+
+    def has_vertex(self, vertex_id: VertexId) -> bool:
+        """Whether the vertex id is present."""
+        return vertex_id in self._vertices
+
+    def vertex(self, vertex_id: VertexId) -> Vertex:
+        """Look up a vertex by id.
+
+        Raises:
+            VertexNotFoundError: If the id is not present.
+        """
+        try:
+            return self._vertices[vertex_id]
+        except KeyError as exc:
+            raise VertexNotFoundError(vertex_id) from exc
+
+    def vertices(self, vertex_type: str | None = None) -> Iterator[Vertex]:
+        """Iterate vertices, optionally restricted to one type."""
+        if vertex_type is None:
+            yield from self._vertices.values()
+            return
+        for vertex_id in self._vertices_by_type.get(vertex_type, ()):
+            yield self._vertices[vertex_id]
+
+    def vertex_ids(self, vertex_type: str | None = None) -> list[VertexId]:
+        """Vertex ids, optionally restricted to one type."""
+        if vertex_type is None:
+            return list(self._vertices)
+        return list(self._vertices_by_type.get(vertex_type, ()))
+
+    def vertex_types(self) -> list[str]:
+        """Distinct vertex types present in the graph data."""
+        return [t for t, members in self._vertices_by_type.items() if members]
+
+    def count_vertices(self, vertex_type: str | None = None) -> int:
+        """Count vertices, optionally restricted to one type."""
+        if vertex_type is None:
+            return self.num_vertices
+        return len(self._vertices_by_type.get(vertex_type, ()))
+
+    def remove_vertex(self, vertex_id: VertexId) -> None:
+        """Remove a vertex and all incident edges."""
+        vertex = self.vertex(vertex_id)
+        for edge_id in list(self._out[vertex_id]) + list(self._in[vertex_id]):
+            if edge_id in self._edges:
+                self.remove_edge(edge_id)
+        del self._vertices[vertex_id]
+        del self._out[vertex_id]
+        del self._in[vertex_id]
+        self._vertices_by_type[vertex.type].pop(vertex_id, None)
+
+    # ------------------------------------------------------------------- edges
+    def add_edge(self, source: VertexId, target: VertexId, label: str,
+                 **properties: Any) -> Edge:
+        """Insert a directed edge from ``source`` to ``target`` with ``label``.
+
+        Both endpoints must already exist.  Parallel edges are allowed (this is
+        a multigraph), matching the property-graph model.
+
+        Raises:
+            VertexNotFoundError: If either endpoint is missing.
+            SchemaError: If validation is on and the edge type violates the schema.
+        """
+        source_vertex = self.vertex(source)
+        target_vertex = self.vertex(target)
+        if self.validate and self.schema is not None and not self.schema.has_edge_type(
+            source_vertex.type, target_vertex.type, label
+        ):
+            raise SchemaError(
+                f"edge ({source_vertex.type})-[:{label}]->({target_vertex.type}) "
+                f"is not declared in schema {self.schema.name!r}"
+            )
+        edge_id = self._next_edge_id
+        self._next_edge_id += 1
+        edge = Edge(id=edge_id, source=source, target=target, label=label,
+                    properties=dict(properties))
+        self._edges[edge_id] = edge
+        self._out[source].append(edge_id)
+        self._in[target].append(edge_id)
+        self._edges_by_label.setdefault(label, {})[edge_id] = None
+        return edge
+
+    def has_edge(self, source: VertexId, target: VertexId, label: str | None = None) -> bool:
+        """Whether at least one edge from ``source`` to ``target`` (with ``label``) exists."""
+        if source not in self._out:
+            return False
+        for edge_id in self._out[source]:
+            edge = self._edges[edge_id]
+            if edge.target == target and (label is None or edge.label == label):
+                return True
+        return False
+
+    def edge(self, edge_id: EdgeId) -> Edge:
+        """Look up an edge by id.
+
+        Raises:
+            EdgeNotFoundError: If the id is not present.
+        """
+        try:
+            return self._edges[edge_id]
+        except KeyError as exc:
+            raise EdgeNotFoundError(edge_id) from exc
+
+    def edges(self, label: str | None = None) -> Iterator[Edge]:
+        """Iterate edges, optionally restricted to one label."""
+        if label is None:
+            yield from self._edges.values()
+            return
+        for edge_id in self._edges_by_label.get(label, ()):
+            yield self._edges[edge_id]
+
+    def edge_labels(self) -> list[str]:
+        """Distinct edge labels present in the graph data."""
+        return [label for label, members in self._edges_by_label.items() if members]
+
+    def count_edges(self, label: str | None = None) -> int:
+        """Count edges, optionally restricted to one label."""
+        if label is None:
+            return self.num_edges
+        return len(self._edges_by_label.get(label, ()))
+
+    def remove_edge(self, edge_id: EdgeId) -> None:
+        """Remove an edge by id."""
+        edge = self.edge(edge_id)
+        del self._edges[edge_id]
+        self._out[edge.source].remove(edge_id)
+        self._in[edge.target].remove(edge_id)
+        self._edges_by_label[edge.label].pop(edge_id, None)
+
+    # --------------------------------------------------------------- traversal
+    def out_edges(self, vertex_id: VertexId, label: str | None = None) -> Iterator[Edge]:
+        """Outgoing edges of a vertex, optionally restricted to one label."""
+        if vertex_id not in self._out:
+            raise VertexNotFoundError(vertex_id)
+        for edge_id in self._out[vertex_id]:
+            edge = self._edges[edge_id]
+            if label is None or edge.label == label:
+                yield edge
+
+    def in_edges(self, vertex_id: VertexId, label: str | None = None) -> Iterator[Edge]:
+        """Incoming edges of a vertex, optionally restricted to one label."""
+        if vertex_id not in self._in:
+            raise VertexNotFoundError(vertex_id)
+        for edge_id in self._in[vertex_id]:
+            edge = self._edges[edge_id]
+            if label is None or edge.label == label:
+                yield edge
+
+    def successors(self, vertex_id: VertexId, label: str | None = None) -> Iterator[VertexId]:
+        """Target ids of outgoing edges (with duplicates for parallel edges)."""
+        for edge in self.out_edges(vertex_id, label):
+            yield edge.target
+
+    def predecessors(self, vertex_id: VertexId, label: str | None = None) -> Iterator[VertexId]:
+        """Source ids of incoming edges (with duplicates for parallel edges)."""
+        for edge in self.in_edges(vertex_id, label):
+            yield edge.source
+
+    def neighbors(self, vertex_id: VertexId) -> set[VertexId]:
+        """Distinct undirected neighbors of a vertex."""
+        return set(self.successors(vertex_id)) | set(self.predecessors(vertex_id))
+
+    def out_degree(self, vertex_id: VertexId, label: str | None = None) -> int:
+        """Number of outgoing edges of a vertex (optionally per label)."""
+        if label is None:
+            if vertex_id not in self._out:
+                raise VertexNotFoundError(vertex_id)
+            return len(self._out[vertex_id])
+        return sum(1 for _ in self.out_edges(vertex_id, label))
+
+    def in_degree(self, vertex_id: VertexId, label: str | None = None) -> int:
+        """Number of incoming edges of a vertex (optionally per label)."""
+        if label is None:
+            if vertex_id not in self._in:
+                raise VertexNotFoundError(vertex_id)
+            return len(self._in[vertex_id])
+        return sum(1 for _ in self.in_edges(vertex_id, label))
+
+    def degree(self, vertex_id: VertexId) -> int:
+        """Total degree (in + out)."""
+        return self.in_degree(vertex_id) + self.out_degree(vertex_id)
+
+    def sources(self, vertex_type: str | None = None) -> list[VertexId]:
+        """Vertices with no incoming edges (optionally restricted to a type)."""
+        return [
+            vid for vid in self.vertex_ids(vertex_type)
+            if not self._in.get(vid)
+        ]
+
+    def sinks(self, vertex_type: str | None = None) -> list[VertexId]:
+        """Vertices with no outgoing edges (optionally restricted to a type)."""
+        return [
+            vid for vid in self.vertex_ids(vertex_type)
+            if not self._out.get(vid)
+        ]
+
+    # -------------------------------------------------------------- bulk logic
+    def add_vertices(self, vertices: Iterable[tuple[VertexId, str]]) -> int:
+        """Bulk-insert ``(id, type)`` pairs; returns number inserted."""
+        count = 0
+        for vertex_id, vertex_type in vertices:
+            self.add_vertex(vertex_id, vertex_type)
+            count += 1
+        return count
+
+    def add_edges(self, edges: Iterable[tuple[VertexId, VertexId, str]]) -> int:
+        """Bulk-insert ``(source, target, label)`` triples; returns number inserted."""
+        count = 0
+        for source, target, label in edges:
+            self.add_edge(source, target, label)
+            count += 1
+        return count
+
+    def copy(self, name: str | None = None) -> "PropertyGraph":
+        """Deep-ish copy of this graph (property dicts are copied shallowly per item)."""
+        clone = PropertyGraph(name=name or f"{self.name}-copy", schema=self.schema,
+                              validate=False)
+        for vertex in self._vertices.values():
+            clone.add_vertex(vertex.id, vertex.type, **vertex.properties)
+        for edge in self._edges.values():
+            clone.add_edge(edge.source, edge.target, edge.label, **edge.properties)
+        clone.validate = self.validate
+        return clone
+
+    def infer_schema(self, name: str | None = None) -> GraphSchema:
+        """Derive a schema from the data: one edge type per observed (type, label, type)."""
+        schema = GraphSchema(name=name or f"{self.name}-schema")
+        for vertex_type in self.vertex_types():
+            schema.add_vertex_type(vertex_type)
+        seen: set[tuple[str, str, str]] = set()
+        for edge in self._edges.values():
+            source_type = self._vertices[edge.source].type
+            target_type = self._vertices[edge.target].type
+            key = (source_type, target_type, edge.label)
+            if key not in seen:
+                seen.add(key)
+                schema.add_edge_type(source_type, target_type, edge.label)
+        return schema
+
+    def check_against_schema(self, schema: GraphSchema | None = None) -> list[str]:
+        """Validate all data against a schema, returning a list of violation messages."""
+        schema = schema or self.schema
+        if schema is None:
+            raise GraphError("no schema provided and graph has no attached schema")
+        violations: list[str] = []
+        for vertex in self._vertices.values():
+            if not schema.has_vertex_type(vertex.type):
+                violations.append(f"vertex {vertex.id!r} has undeclared type {vertex.type!r}")
+        for edge in self._edges.values():
+            source_type = self._vertices[edge.source].type
+            target_type = self._vertices[edge.target].type
+            if not schema.has_edge_type(source_type, target_type, edge.label):
+                violations.append(
+                    f"edge {edge.id} ({source_type})-[:{edge.label}]->({target_type}) "
+                    "violates schema"
+                )
+        return violations
+
+    # ------------------------------------------------------------- memory size
+    def estimated_footprint(self, bytes_per_vertex: int = 64, bytes_per_edge: int = 48) -> int:
+        """Rough in-memory footprint estimate used for view space budgets (§V-B)."""
+        property_bytes = sum(
+            32 * len(v.properties) for v in self._vertices.values()
+        ) + sum(32 * len(e.properties) for e in self._edges.values())
+        return (
+            self.num_vertices * bytes_per_vertex
+            + self.num_edges * bytes_per_edge
+            + property_bytes
+        )

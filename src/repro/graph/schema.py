@@ -1,0 +1,353 @@
+"""Property-graph schemas.
+
+A :class:`GraphSchema` captures the structural constraints the paper exploits
+(§III-A): which vertex types exist, and which edge types connect which vertex
+types (domain/range constraints).  For instance, in the provenance graph an
+edge of type ``WRITES_TO`` only connects ``Job`` vertices to ``File`` vertices,
+and there are no job-to-job or file-to-file edges.  These constraints are the
+raw material of Kaskade's *explicit schema constraints* (§IV-A1) and the
+starting point for mining *implicit constraints* such as "only even-length
+paths exist between two files" (§IV-A2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class EdgeType:
+    """A typed edge declaration ``(source_type)-[label]->(target_type)``.
+
+    Attributes:
+        source: Vertex type that the edge may originate from (its *domain*).
+        target: Vertex type that the edge may point to (its *range*).
+        label: Edge label, e.g. ``"WRITES_TO"``.
+    """
+
+    source: str
+    target: str
+    label: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.source})-[:{self.label}]->({self.target})"
+
+
+class GraphSchema:
+    """Schema of a property graph: vertex types and typed edge declarations.
+
+    The schema is itself a small directed multigraph over vertex *types*; the
+    constraint-mining rules of §IV-A walk this graph to decide, e.g., which
+    k-hop connectors are feasible at all.
+
+    Example:
+        >>> schema = GraphSchema.from_edges([
+        ...     ("Job", "WRITES_TO", "File"),
+        ...     ("File", "IS_READ_BY", "Job"),
+        ... ])
+        >>> sorted(schema.vertex_types)
+        ['File', 'Job']
+        >>> schema.has_edge_type("Job", "File", "WRITES_TO")
+        True
+    """
+
+    def __init__(self, name: str = "schema") -> None:
+        self.name = name
+        self._vertex_types: dict[str, dict[str, object]] = {}
+        self._edge_types: dict[tuple[str, str, str], EdgeType] = {}
+        # adjacency over types: source type -> list of EdgeType
+        self._out: dict[str, list[EdgeType]] = {}
+        self._in: dict[str, list[EdgeType]] = {}
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[str, str, str]],
+        name: str = "schema",
+        vertex_types: Iterable[str] | None = None,
+    ) -> "GraphSchema":
+        """Build a schema from ``(source_type, label, target_type)`` triples."""
+        schema = cls(name=name)
+        for vertex_type in vertex_types or ():
+            schema.add_vertex_type(vertex_type)
+        for source, label, target in edges:
+            schema.add_edge_type(source, target, label)
+        return schema
+
+    def add_vertex_type(self, vertex_type: str, **metadata: object) -> None:
+        """Declare a vertex type.  Re-declaring merges metadata."""
+        if not vertex_type:
+            raise SchemaError("vertex type name must be non-empty")
+        self._vertex_types.setdefault(vertex_type, {}).update(metadata)
+        self._out.setdefault(vertex_type, [])
+        self._in.setdefault(vertex_type, [])
+
+    def add_edge_type(self, source: str, target: str, label: str) -> EdgeType:
+        """Declare an edge type; implicitly declares its endpoint vertex types."""
+        if not label:
+            raise SchemaError("edge label must be non-empty")
+        self.add_vertex_type(source)
+        self.add_vertex_type(target)
+        key = (source, target, label)
+        if key in self._edge_types:
+            return self._edge_types[key]
+        edge_type = EdgeType(source=source, target=target, label=label)
+        self._edge_types[key] = edge_type
+        self._out[source].append(edge_type)
+        self._in[target].append(edge_type)
+        return edge_type
+
+    # ------------------------------------------------------------------ query
+    @property
+    def vertex_types(self) -> list[str]:
+        """All declared vertex type names."""
+        return list(self._vertex_types)
+
+    @property
+    def edge_types(self) -> list[EdgeType]:
+        """All declared edge types."""
+        return list(self._edge_types.values())
+
+    def vertex_type_metadata(self, vertex_type: str) -> Mapping[str, object]:
+        """Metadata attached to a vertex type declaration."""
+        try:
+            return dict(self._vertex_types[vertex_type])
+        except KeyError as exc:
+            raise SchemaError(f"unknown vertex type {vertex_type!r}") from exc
+
+    def has_vertex_type(self, vertex_type: str) -> bool:
+        return vertex_type in self._vertex_types
+
+    def has_edge_type(self, source: str, target: str, label: str | None = None) -> bool:
+        """Whether an edge type from ``source`` to ``target`` (with ``label``) exists."""
+        if label is not None:
+            return (source, target, label) in self._edge_types
+        return any(et.target == target for et in self._out.get(source, ()))
+
+    def edge_types_between(self, source: str, target: str) -> list[EdgeType]:
+        """All edge types with the given domain and range."""
+        return [et for et in self._out.get(source, ()) if et.target == target]
+
+    def outgoing_edge_types(self, vertex_type: str) -> list[EdgeType]:
+        """Edge types whose domain is ``vertex_type``."""
+        return list(self._out.get(vertex_type, ()))
+
+    def incoming_edge_types(self, vertex_type: str) -> list[EdgeType]:
+        """Edge types whose range is ``vertex_type``."""
+        return list(self._in.get(vertex_type, ()))
+
+    def source_types(self) -> list[str]:
+        """Vertex types that are the domain of at least one edge type (T_G in Eq. 3)."""
+        return [t for t in self._vertex_types if self._out.get(t)]
+
+    def labels(self) -> list[str]:
+        """All distinct edge labels."""
+        seen: dict[str, None] = {}
+        for edge_type in self._edge_types.values():
+            seen.setdefault(edge_type.label, None)
+        return list(seen)
+
+    def __contains__(self, vertex_type: str) -> bool:
+        return self.has_vertex_type(vertex_type)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._vertex_types)
+
+    def __len__(self) -> int:
+        return len(self._vertex_types)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphSchema(name={self.name!r}, vertex_types={len(self._vertex_types)}, "
+            f"edge_types={len(self._edge_types)})"
+        )
+
+    # ------------------------------------------------------------- path logic
+    def k_hop_paths(self, k: int, start: str | None = None, end: str | None = None,
+                    mode: str = "walk",
+                    max_paths: int | None = None) -> list[tuple[EdgeType, ...]]:
+        """Enumerate directed k-length paths over the schema (type) graph.
+
+        This is the search space that the ``schemaKHopPath`` constraint mining
+        rule (Listing 2) explores.  Three semantics are provided:
+
+        * ``"walk"`` (default): vertex types may repeat freely.  This matches
+          the view instantiations the paper actually reports (§IV-B lists
+          job-to-job connectors for k = 2, 4, 6, 8, 10, which requires the
+          Job→File→Job→… type cycle to be traversable), and it is the
+          data-level notion of feasibility: a k-hop connector between two types
+          is possible iff a k-length walk between them exists in the schema.
+        * ``"trail"``: the literal Prolog semantics of Listing 2 — hop *i*'s
+          target type must not appear among the first *i-1* path types, and the
+          final hop is unconstrained.  With a Job/File schema this admits only
+          k ≤ 2 same-type connectors.
+        * ``"simple"``: no vertex type may repeat at all (strictest).
+
+        Args:
+            k: Exact number of hops (``k >= 1``).
+            start: Optional restriction on the first path vertex type.
+            end: Optional restriction on the last path vertex type.
+            mode: ``"walk"``, ``"trail"``, or ``"simple"``.
+            max_paths: Optional cap on the number of enumerated paths; useful
+                for the unconstrained (exponential) search-space benchmark.
+
+        Returns:
+            A list of edge-type tuples, each of length ``k``.
+        """
+        if k < 1:
+            raise SchemaError(f"k must be >= 1, got {k}")
+        if mode not in {"walk", "trail", "simple"}:
+            raise SchemaError(f"unknown path mode {mode!r}")
+        results: list[tuple[EdgeType, ...]] = []
+        starts = [start] if start is not None else self.vertex_types
+        for start_type in starts:
+            done = self._extend_path(start_type, k, end, mode, (), (start_type,),
+                                     results, max_paths)
+            if done:
+                break
+        return results
+
+    def _extend_path(
+        self,
+        current: str,
+        remaining: int,
+        end: str | None,
+        mode: str,
+        path: tuple[EdgeType, ...],
+        visited_types: tuple[str, ...],
+        results: list[tuple[EdgeType, ...]],
+        max_paths: int | None,
+    ) -> bool:
+        """Depth-first extension; returns True when ``max_paths`` has been reached."""
+        if remaining == 0:
+            if end is None or (path and path[-1].target == end):
+                results.append(path)
+            return max_paths is not None and len(results) >= max_paths
+        for edge_type in self._out.get(current, ()):
+            next_type = edge_type.target
+            if mode == "simple" and next_type in visited_types:
+                continue
+            if mode == "trail" and remaining > 1 and next_type in visited_types[:-1]:
+                # Listing 2: not(member(Z, Trail)) where Trail excludes the
+                # current vertex type and the check is skipped on the last hop.
+                continue
+            done = self._extend_path(
+                next_type,
+                remaining - 1,
+                end,
+                mode,
+                path + (edge_type,),
+                visited_types + (next_type,),
+                results,
+                max_paths,
+            )
+            if done:
+                return True
+        return False
+
+    def has_k_hop_path(self, source_type: str, target_type: str, k: int,
+                       mode: str = "walk") -> bool:
+        """Whether at least one k-hop schema path exists between the two types."""
+        return bool(self.k_hop_paths(k, start=source_type, end=target_type, mode=mode,
+                                     max_paths=1))
+
+    def count_k_hop_paths(self, k: int, mode: str = "walk",
+                          max_paths: int | None = None) -> int:
+        """Number of k-hop schema paths (used by the §IV-A search-space benchmark)."""
+        return len(self.k_hop_paths(k, mode=mode, max_paths=max_paths))
+
+    def reachable_types(self, source_type: str, max_hops: int | None = None) -> set[str]:
+        """Vertex types reachable from ``source_type`` via directed schema edges."""
+        if not self.has_vertex_type(source_type):
+            raise SchemaError(f"unknown vertex type {source_type!r}")
+        frontier = {source_type}
+        reached: set[str] = set()
+        hops = 0
+        while frontier and (max_hops is None or hops < max_hops):
+            next_frontier: set[str] = set()
+            for vertex_type in frontier:
+                for edge_type in self._out.get(vertex_type, ()):
+                    if edge_type.target not in reached:
+                        reached.add(edge_type.target)
+                        next_frontier.add(edge_type.target)
+            frontier = next_frontier
+            hops += 1
+        return reached
+
+    # ----------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict representation (suitable for JSON serialization)."""
+        return {
+            "name": self.name,
+            "vertex_types": sorted(self._vertex_types),
+            "edge_types": [
+                {"source": et.source, "target": et.target, "label": et.label}
+                for et in self._edge_types.values()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "GraphSchema":
+        """Inverse of :meth:`to_dict`."""
+        schema = cls(name=str(payload.get("name", "schema")))
+        for vertex_type in payload.get("vertex_types", ()):  # type: ignore[union-attr]
+            schema.add_vertex_type(str(vertex_type))
+        for edge in payload.get("edge_types", ()):  # type: ignore[union-attr]
+            schema.add_edge_type(str(edge["source"]), str(edge["target"]), str(edge["label"]))
+        return schema
+
+
+# --------------------------------------------------------------------------- #
+# Canonical schemas used throughout the reproduction.
+# --------------------------------------------------------------------------- #
+
+def provenance_schema(include_tasks: bool = True) -> GraphSchema:
+    """Schema of the Microsoft-style data lineage (provenance) graph (§I-A).
+
+    Jobs write files, files are read by jobs; jobs spawn tasks which transfer
+    data between each other; machines run tasks; users submit jobs.  There are
+    no job-to-job or file-to-file edges, which is precisely the structural
+    property the blast-radius optimization exploits.
+    """
+    schema = GraphSchema(name="provenance")
+    schema.add_edge_type("Job", "File", "WRITES_TO")
+    schema.add_edge_type("File", "Job", "IS_READ_BY")
+    if include_tasks:
+        schema.add_edge_type("Job", "Task", "SPAWNS")
+        schema.add_edge_type("Task", "Task", "TRANSFERS_TO")
+        schema.add_edge_type("Machine", "Task", "RUNS")
+        schema.add_edge_type("User", "Job", "SUBMITS")
+    return schema
+
+
+def dblp_schema(include_venues: bool = True) -> GraphSchema:
+    """Schema of the DBLP-like publication graph used in §VII.
+
+    Authors write articles / in-proc papers; publications cite each other and
+    appear in venues.  The summarized graph keeps only authors and
+    publications.
+    """
+    schema = GraphSchema(name="dblp")
+    schema.add_edge_type("Author", "Article", "WRITES")
+    schema.add_edge_type("Article", "Author", "WRITTEN_BY")
+    schema.add_edge_type("Author", "InProc", "WRITES")
+    schema.add_edge_type("InProc", "Author", "WRITTEN_BY")
+    if include_venues:
+        schema.add_edge_type("Article", "Venue", "PUBLISHED_IN")
+        schema.add_edge_type("InProc", "Venue", "PUBLISHED_IN")
+    return schema
+
+
+def homogeneous_schema(vertex_type: str = "Vertex", label: str = "LINK") -> GraphSchema:
+    """Schema of a homogeneous graph: one vertex type, one self-loop edge type.
+
+    Used for ``soc-livejournal``- and ``roadnet-usa``-style graphs, where
+    k-length paths can exist between any two vertices (§VII-D).
+    """
+    schema = GraphSchema(name=f"homogeneous-{vertex_type.lower()}")
+    schema.add_edge_type(vertex_type, vertex_type, label)
+    return schema

@@ -1,0 +1,294 @@
+"""Fundamental graph transformations.
+
+The paper's views are built out of a handful of engine-agnostic graph
+transformations (§IX): filtering vertices/edges (summarizers), grouping them
+into super-vertices/edges (aggregator summarizers), and contracting paths into
+single edges (connectors).  The view layer (:mod:`repro.views`) composes the
+primitives defined here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
+
+from repro.errors import GraphError
+from repro.graph.property_graph import Edge, PropertyGraph, Vertex, VertexId
+
+VertexPredicate = Callable[[Vertex], bool]
+EdgePredicate = Callable[[Edge], bool]
+
+
+def induced_subgraph_by_vertex_types(
+    graph: PropertyGraph,
+    keep_types: Iterable[str],
+    name: str | None = None,
+) -> PropertyGraph:
+    """Subgraph induced by vertices whose type is in ``keep_types``.
+
+    Edges are kept only when both endpoints survive, matching the
+    vertex-inclusion summarizer semantics (Table II).
+    """
+    keep = set(keep_types)
+    return filter_graph(
+        graph,
+        vertex_predicate=lambda v: v.type in keep,
+        name=name or f"{graph.name}|types={'+'.join(sorted(keep))}",
+    )
+
+
+def filter_graph(
+    graph: PropertyGraph,
+    vertex_predicate: VertexPredicate | None = None,
+    edge_predicate: EdgePredicate | None = None,
+    name: str | None = None,
+) -> PropertyGraph:
+    """General filter: keep vertices/edges satisfying the predicates.
+
+    A kept edge requires both endpoints to be kept.  When a predicate is
+    omitted, everything of that kind passes.
+    """
+    result = PropertyGraph(name=name or f"{graph.name}|filtered", schema=graph.schema)
+    for vertex in graph.vertices():
+        if vertex_predicate is None or vertex_predicate(vertex):
+            result.add_vertex(vertex.id, vertex.type, **vertex.properties)
+    for edge in graph.edges():
+        if not (result.has_vertex(edge.source) and result.has_vertex(edge.target)):
+            continue
+        if edge_predicate is None or edge_predicate(edge):
+            result.add_edge(edge.source, edge.target, edge.label, **edge.properties)
+    return result
+
+
+def remove_vertices_by_type(graph: PropertyGraph, remove_types: Iterable[str],
+                            name: str | None = None) -> PropertyGraph:
+    """Vertex-removal summarizer primitive: drop vertices of the given types."""
+    remove = set(remove_types)
+    return filter_graph(
+        graph,
+        vertex_predicate=lambda v: v.type not in remove,
+        name=name or f"{graph.name}|without={'+'.join(sorted(remove))}",
+    )
+
+
+def remove_edges_by_label(graph: PropertyGraph, remove_labels: Iterable[str],
+                          name: str | None = None) -> PropertyGraph:
+    """Edge-removal summarizer primitive: drop edges with the given labels."""
+    remove = set(remove_labels)
+    return filter_graph(
+        graph,
+        edge_predicate=lambda e: e.label not in remove,
+        name=name or f"{graph.name}|without-edges={'+'.join(sorted(remove))}",
+    )
+
+
+def contract_paths(
+    graph: PropertyGraph,
+    paths: Iterable[Sequence[VertexId]],
+    edge_label: str,
+    name: str | None = None,
+    keep_vertex_properties: bool = True,
+    deduplicate: bool = True,
+) -> PropertyGraph:
+    """Contract each path into a single edge between its endpoints.
+
+    This is the core connector-construction primitive (§VI-A): every edge of
+    the result graph corresponds to the contraction of one directed path in the
+    input graph, and the vertex set of the result is the union of all path
+    endpoints.
+
+    Args:
+        graph: Input graph (provides vertex types/properties for the endpoints).
+        paths: Vertex-id sequences of length >= 2; only the first and last
+            vertex of each path appear in the output.
+        edge_label: Label given to every contracted edge (e.g. ``"JOB_TO_JOB_2HOP"``).
+        name: Name for the resulting graph.
+        keep_vertex_properties: Copy endpoint properties into the view.
+        deduplicate: When true, at most one contracted edge is emitted per
+            (source, target) pair; the edge's ``path_count`` property records
+            how many paths were contracted into it.
+
+    Returns:
+        The connector graph.
+    """
+    result = PropertyGraph(name=name or f"{graph.name}|contracted")
+    pair_counts: dict[tuple[VertexId, VertexId], int] = {}
+    pair_hops: dict[tuple[VertexId, VertexId], int] = {}
+    raw_pairs: list[tuple[VertexId, VertexId, int]] = []
+
+    for path in paths:
+        if len(path) < 2:
+            raise GraphError(f"a contractible path needs at least 2 vertices, got {list(path)!r}")
+        source, target = path[0], path[-1]
+        for endpoint in (source, target):
+            if not result.has_vertex(endpoint):
+                vertex = graph.vertex(endpoint)
+                properties = vertex.properties if keep_vertex_properties else {}
+                result.add_vertex(vertex.id, vertex.type, **properties)
+        hops = len(path) - 1
+        if deduplicate:
+            key = (source, target)
+            pair_counts[key] = pair_counts.get(key, 0) + 1
+            pair_hops.setdefault(key, hops)
+        else:
+            raw_pairs.append((source, target, hops))
+
+    if deduplicate:
+        for (source, target), count in pair_counts.items():
+            result.add_edge(source, target, edge_label,
+                            path_count=count, hops=pair_hops[(source, target)])
+    else:
+        for source, target, hops in raw_pairs:
+            result.add_edge(source, target, edge_label, hops=hops)
+    return result
+
+
+def enumerate_k_hop_paths(
+    graph: PropertyGraph,
+    k: int,
+    source_predicate: VertexPredicate | None = None,
+    target_predicate: VertexPredicate | None = None,
+    edge_labels: Iterable[str] | None = None,
+    simple: bool = True,
+    allow_closing: bool = False,
+    max_paths: int | None = None,
+) -> list[tuple[VertexId, ...]]:
+    """Enumerate directed k-hop paths as vertex-id tuples of length ``k + 1``.
+
+    Args:
+        graph: Input graph.
+        k: Number of hops (edges) per path, ``k >= 1``.
+        source_predicate: Optional filter on the first vertex of the path.
+        target_predicate: Optional filter on the last vertex of the path.
+        edge_labels: Optional restriction on which edge labels may be traversed.
+        simple: When true, a path may not revisit a vertex.
+        allow_closing: When true (and ``simple``), the final vertex may close
+            the path back onto its starting vertex — needed so that connector
+            views capture "a job that reads its own output" style cycles that
+            the raw pattern-matching queries also match.
+        max_paths: Optional cap on the number of returned paths (the search
+            stops once reached), used to keep dense homogeneous graphs tractable.
+
+    Returns:
+        List of vertex-id tuples.
+    """
+    if k < 1:
+        raise GraphError(f"k must be >= 1, got {k}")
+    allowed_labels = set(edge_labels) if edge_labels is not None else None
+    results: list[tuple[VertexId, ...]] = []
+
+    def extend(path: tuple[VertexId, ...], visited: set[VertexId]) -> bool:
+        """Depth-first extension; returns False once max_paths is hit."""
+        if len(path) == k + 1:
+            last_vertex = graph.vertex(path[-1])
+            if target_predicate is None or target_predicate(last_vertex):
+                results.append(path)
+                if max_paths is not None and len(results) >= max_paths:
+                    return False
+            return True
+        for edge in graph.out_edges(path[-1]):
+            if allowed_labels is not None and edge.label not in allowed_labels:
+                continue
+            if simple and edge.target in visited:
+                is_closing_hop = (allow_closing and edge.target == path[0]
+                                  and len(path) == k)
+                if not is_closing_hop:
+                    continue
+            if not extend(path + (edge.target,), visited | {edge.target}):
+                return False
+        return True
+
+    for vertex in graph.vertices():
+        if source_predicate is not None and not source_predicate(vertex):
+            continue
+        if not extend((vertex.id,), {vertex.id}):
+            break
+    return results
+
+
+def group_vertices(
+    graph: PropertyGraph,
+    key: Callable[[Vertex], Hashable | None],
+    supervertex_type: str = "SuperVertex",
+    aggregators: Mapping[str, Callable[[list[Any]], Any]] | None = None,
+    edge_label: str | None = None,
+    name: str | None = None,
+) -> PropertyGraph:
+    """Vertex-aggregator summarizer primitive: group vertices into super-vertices.
+
+    Every vertex for which ``key`` returns a non-None value is assigned to the
+    super-vertex identified by that value; vertices with a None key are copied
+    through unchanged.  Edges are re-pointed to the super-vertices; multiple
+    parallel edges between the same pair of super-vertices are merged into one
+    super-edge carrying an ``edge_count`` property.
+
+    Args:
+        graph: Input graph.
+        key: Grouping function; ``None`` means "keep this vertex as-is".
+        supervertex_type: Vertex type of the created super-vertices.
+        aggregators: Mapping ``property name -> reducer`` applied to the member
+            vertices' property values; the result is stored on the super-vertex.
+        edge_label: Label for merged super-edges (defaults to the original label).
+        name: Name for the resulting graph.
+    """
+    result = PropertyGraph(name=name or f"{graph.name}|grouped")
+    member_of: dict[VertexId, VertexId] = {}
+    members: dict[Hashable, list[Vertex]] = {}
+
+    for vertex in graph.vertices():
+        group = key(vertex)
+        if group is None:
+            result.add_vertex(vertex.id, vertex.type, **vertex.properties)
+            member_of[vertex.id] = vertex.id
+        else:
+            supervertex_id = f"group::{group}"
+            members.setdefault(group, []).append(vertex)
+            member_of[vertex.id] = supervertex_id
+
+    for group, group_members in members.items():
+        supervertex_id = f"group::{group}"
+        properties: dict[str, Any] = {"member_count": len(group_members), "group_key": group}
+        for prop, reducer in (aggregators or {}).items():
+            values = [m.properties[prop] for m in group_members if prop in m.properties]
+            if values:
+                properties[prop] = reducer(values)
+        result.add_vertex(supervertex_id, supervertex_type, **properties)
+
+    merged: dict[tuple[VertexId, VertexId, str], int] = {}
+    for edge in graph.edges():
+        new_source = member_of[edge.source]
+        new_target = member_of[edge.target]
+        if new_source == new_target and new_source not in graph.vertex_ids():
+            # Intra-group edge collapsed into the super-vertex: drop it.
+            continue
+        label = edge_label or edge.label
+        merged_key = (new_source, new_target, label)
+        merged[merged_key] = merged.get(merged_key, 0) + 1
+    for (source, target, label), count in merged.items():
+        result.add_edge(source, target, label, edge_count=count)
+    return result
+
+
+def reverse_graph(graph: PropertyGraph, name: str | None = None) -> PropertyGraph:
+    """Return a copy of the graph with every edge direction flipped."""
+    result = PropertyGraph(name=name or f"{graph.name}|reversed", schema=None)
+    for vertex in graph.vertices():
+        result.add_vertex(vertex.id, vertex.type, **vertex.properties)
+    for edge in graph.edges():
+        result.add_edge(edge.target, edge.source, edge.label, **edge.properties)
+    return result
+
+
+def union(left: PropertyGraph, right: PropertyGraph, name: str | None = None) -> PropertyGraph:
+    """Union of two graphs over the same vertex-id space.
+
+    Vertices present in both inputs must agree on their type; properties are
+    merged with the right graph taking precedence.  All edges from both inputs
+    are kept (as parallel edges where applicable).
+    """
+    result = PropertyGraph(name=name or f"{left.name}+{right.name}")
+    for source_graph in (left, right):
+        for vertex in source_graph.vertices():
+            result.add_vertex(vertex.id, vertex.type, **vertex.properties)
+        for edge in source_graph.edges():
+            result.add_edge(edge.source, edge.target, edge.label, **edge.properties)
+    return result

@@ -1,0 +1,64 @@
+"""Prolog-like inference engine (the SWI-Prolog substitute).
+
+Kaskade's constraint-based view enumeration (§IV) loads facts mined from the
+query and schema, constraint mining rules, and view templates into an
+inference engine and enumerates candidate views by evaluating the template
+heads.  This subpackage provides that engine: logic terms, unification, a rule
+database, SLD resolution with negation-as-failure, and the builtins the
+paper's rules need (``between``, ``member``, ``findall``, arithmetic, …).
+"""
+
+from repro.inference.terms import (
+    Atom,
+    Rule,
+    Struct,
+    Term,
+    Var,
+    atom,
+    fact,
+    from_python,
+    is_ground,
+    is_list_term,
+    iter_list,
+    make_list,
+    neg,
+    rule,
+    struct,
+    to_python,
+    var,
+    variables_in,
+)
+from repro.inference.unify import Substitution, occurs_in, resolve, unify, walk
+from repro.inference.database import RuleDatabase
+from repro.inference.builtins import BUILTINS, evaluate_arithmetic
+from repro.inference.engine import InferenceEngine
+
+__all__ = [
+    "Atom",
+    "BUILTINS",
+    "InferenceEngine",
+    "Rule",
+    "RuleDatabase",
+    "Struct",
+    "Substitution",
+    "Term",
+    "Var",
+    "atom",
+    "evaluate_arithmetic",
+    "fact",
+    "from_python",
+    "is_ground",
+    "is_list_term",
+    "iter_list",
+    "make_list",
+    "neg",
+    "occurs_in",
+    "resolve",
+    "rule",
+    "struct",
+    "to_python",
+    "unify",
+    "var",
+    "variables_in",
+    "walk",
+]

@@ -1,0 +1,335 @@
+"""Builtin predicates for the inference engine.
+
+These cover the subset of ISO/SWI-Prolog builtins that Kaskade's constraint
+mining rules and view templates rely on (§IV, Appendix A): arithmetic via
+``is/2`` and comparison operators, list predicates (``member/2``, ``length/2``,
+``append/3``, ``sort/2``), ``between/3`` for bounding hop counts, and the
+higher-order ``findall/3`` / ``setof/3`` / ``forall/2`` used by the query
+constraint mining rules (Listing 6) and aggregator templates (Listing 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+
+from repro.errors import InferenceError
+from repro.inference.terms import (
+    Atom,
+    Struct,
+    Term,
+    Var,
+    from_python,
+    is_ground,
+    iter_list,
+    is_list_term,
+    make_list,
+)
+from repro.inference.unify import Substitution, resolve, unify
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.inference.engine import InferenceEngine
+
+
+@dataclass
+class BuiltinContext:
+    """Execution context handed to builtins that need to call back into the engine."""
+
+    engine: "InferenceEngine"
+    depth: int
+
+
+Builtin = Callable[[BuiltinContext, Sequence[Term], Substitution], Iterator[Substitution]]
+
+
+# --------------------------------------------------------------------- helpers
+def _require_number(term: Term) -> float | int:
+    if isinstance(term, Atom) and isinstance(term.value, (int, float)) and not isinstance(
+        term.value, bool
+    ):
+        return term.value
+    raise InferenceError(f"expected a number, got {term}")
+
+
+def evaluate_arithmetic(term: Term, subst: Substitution) -> float | int:
+    """Evaluate a Prolog arithmetic expression term to a Python number."""
+    term = resolve(term, subst)
+    if isinstance(term, Var):
+        raise InferenceError(f"arguments are not sufficiently instantiated: {term}")
+    if isinstance(term, Atom):
+        return _require_number(term)
+    assert isinstance(term, Struct)
+    args = [evaluate_arithmetic(a, subst) for a in term.args]
+    operators: dict[tuple[str, int], Callable[..., float | int]] = {
+        ("+", 2): lambda a, b: a + b,
+        ("-", 2): lambda a, b: a - b,
+        ("*", 2): lambda a, b: a * b,
+        ("/", 2): lambda a, b: a / b,
+        ("//", 2): lambda a, b: a // b,
+        ("mod", 2): lambda a, b: a % b,
+        ("min", 2): min,
+        ("max", 2): max,
+        ("**", 2): lambda a, b: a ** b,
+        ("-", 1): lambda a: -a,
+        ("+", 1): lambda a: +a,
+        ("abs", 1): abs,
+    }
+    operation = operators.get((term.functor, term.arity))
+    if operation is None:
+        raise InferenceError(f"unknown arithmetic operator {term.functor}/{term.arity}")
+    return operation(*args)
+
+
+def _unify_yield(left: Term, right: Term, subst: Substitution) -> Iterator[Substitution]:
+    result = unify(left, right, subst)
+    if result is not None:
+        yield result
+
+
+# --------------------------------------------------------------------- builtins
+def builtin_true(ctx: BuiltinContext, args: Sequence[Term],
+                 subst: Substitution) -> Iterator[Substitution]:
+    yield subst
+
+
+def builtin_fail(ctx: BuiltinContext, args: Sequence[Term],
+                 subst: Substitution) -> Iterator[Substitution]:
+    return
+    yield  # pragma: no cover - makes this a generator
+
+
+def builtin_unify(ctx: BuiltinContext, args: Sequence[Term],
+                  subst: Substitution) -> Iterator[Substitution]:
+    yield from _unify_yield(args[0], args[1], subst)
+
+
+def builtin_not_unifiable(ctx: BuiltinContext, args: Sequence[Term],
+                          subst: Substitution) -> Iterator[Substitution]:
+    if unify(args[0], args[1], subst) is None:
+        yield subst
+
+
+def builtin_structural_eq(ctx: BuiltinContext, args: Sequence[Term],
+                          subst: Substitution) -> Iterator[Substitution]:
+    if resolve(args[0], subst) == resolve(args[1], subst):
+        yield subst
+
+
+def builtin_structural_neq(ctx: BuiltinContext, args: Sequence[Term],
+                           subst: Substitution) -> Iterator[Substitution]:
+    if resolve(args[0], subst) != resolve(args[1], subst):
+        yield subst
+
+
+def builtin_is(ctx: BuiltinContext, args: Sequence[Term],
+               subst: Substitution) -> Iterator[Substitution]:
+    value = evaluate_arithmetic(args[1], subst)
+    yield from _unify_yield(args[0], Atom(value), subst)
+
+
+def _comparison(op: Callable[[float, float], bool]) -> Builtin:
+    def compare(ctx: BuiltinContext, args: Sequence[Term],
+                subst: Substitution) -> Iterator[Substitution]:
+        left = evaluate_arithmetic(args[0], subst)
+        right = evaluate_arithmetic(args[1], subst)
+        if op(left, right):
+            yield subst
+
+    return compare
+
+
+def builtin_between(ctx: BuiltinContext, args: Sequence[Term],
+                    subst: Substitution) -> Iterator[Substitution]:
+    """``between(Low, High, X)``: generate or test integers in [Low, High]."""
+    low = int(evaluate_arithmetic(args[0], subst))
+    high = int(evaluate_arithmetic(args[1], subst))
+    target = resolve(args[2], subst)
+    if isinstance(target, Atom):
+        value = _require_number(target)
+        if low <= value <= high:
+            yield subst
+        return
+    for value in range(low, high + 1):
+        result = unify(args[2], Atom(value), subst)
+        if result is not None:
+            yield result
+
+
+def builtin_member(ctx: BuiltinContext, args: Sequence[Term],
+                   subst: Substitution) -> Iterator[Substitution]:
+    """``member(X, List)``: enumerate or test list membership."""
+    items = resolve(args[1], subst)
+    if not is_list_term(items):
+        raise InferenceError(f"member/2 expects a proper list, got {items}")
+    for item in iter_list(items):
+        result = unify(args[0], item, subst)
+        if result is not None:
+            yield result
+
+
+def builtin_length(ctx: BuiltinContext, args: Sequence[Term],
+                   subst: Substitution) -> Iterator[Substitution]:
+    items = resolve(args[0], subst)
+    if not is_list_term(items):
+        raise InferenceError(f"length/2 expects a proper list, got {items}")
+    count = sum(1 for _ in iter_list(items))
+    yield from _unify_yield(args[1], Atom(count), subst)
+
+
+def builtin_append(ctx: BuiltinContext, args: Sequence[Term],
+                   subst: Substitution) -> Iterator[Substitution]:
+    """``append(A, B, C)``: concatenation with A and B ground, or splitting C."""
+    first = resolve(args[0], subst)
+    second = resolve(args[1], subst)
+    third = resolve(args[2], subst)
+    if is_list_term(first) and is_list_term(second):
+        combined = make_list(list(iter_list(first)) + list(iter_list(second)))
+        yield from _unify_yield(args[2], combined, subst)
+        return
+    if is_list_term(third):
+        items = list(iter_list(third))
+        for split in range(len(items) + 1):
+            left = make_list(items[:split])
+            right = make_list(items[split:])
+            result = unify(args[0], left, subst)
+            if result is None:
+                continue
+            result = unify(args[1], right, result)
+            if result is not None:
+                yield result
+        return
+    raise InferenceError("append/3 needs either the first two or the last argument bound")
+
+
+def _sort_key(term: Term) -> tuple[int, str]:
+    """Standard-order-ish key: numbers before atoms before compounds, then text."""
+    if isinstance(term, Atom) and isinstance(term.value, (int, float)) and not isinstance(
+        term.value, bool
+    ):
+        return (0, f"{float(term.value):020.6f}")
+    if isinstance(term, Atom):
+        return (1, str(term.value))
+    return (2, str(term))
+
+
+def builtin_sort(ctx: BuiltinContext, args: Sequence[Term],
+                 subst: Substitution) -> Iterator[Substitution]:
+    """``sort(List, Sorted)``: sort and remove duplicates (as in ISO sort/2)."""
+    items = resolve(args[0], subst)
+    if not is_list_term(items):
+        raise InferenceError(f"sort/2 expects a proper list, got {items}")
+    unique: list[Term] = []
+    for item in sorted(iter_list(items), key=_sort_key):
+        if not unique or unique[-1] != item:
+            unique.append(item)
+    yield from _unify_yield(args[1], make_list(unique), subst)
+
+
+def builtin_msort(ctx: BuiltinContext, args: Sequence[Term],
+                  subst: Substitution) -> Iterator[Substitution]:
+    """``msort(List, Sorted)``: sort without removing duplicates."""
+    items = resolve(args[0], subst)
+    if not is_list_term(items):
+        raise InferenceError(f"msort/2 expects a proper list, got {items}")
+    ordered = sorted(iter_list(items), key=_sort_key)
+    yield from _unify_yield(args[1], make_list(ordered), subst)
+
+
+def builtin_findall(ctx: BuiltinContext, args: Sequence[Term],
+                    subst: Substitution) -> Iterator[Substitution]:
+    """``findall(Template, Goal, List)``: collect all instantiations of Template."""
+    template, goal, output = args
+    collected: list[Term] = []
+    for solution in ctx.engine.solve(goal, dict(subst), ctx.depth + 1):
+        collected.append(resolve(template, solution))
+    yield from _unify_yield(output, make_list(collected), subst)
+
+
+def builtin_setof(ctx: BuiltinContext, args: Sequence[Term],
+                  subst: Substitution) -> Iterator[Substitution]:
+    """Simplified ``setof(Template, Goal, List)``: sorted unique results, fails if empty."""
+    template, goal, output = args
+    collected: list[Term] = []
+    for solution in ctx.engine.solve(goal, dict(subst), ctx.depth + 1):
+        collected.append(resolve(template, solution))
+    if not collected:
+        return
+    unique: list[Term] = []
+    for item in sorted(collected, key=_sort_key):
+        if not unique or unique[-1] != item:
+            unique.append(item)
+    yield from _unify_yield(output, make_list(unique), subst)
+
+
+def builtin_forall(ctx: BuiltinContext, args: Sequence[Term],
+                   subst: Substitution) -> Iterator[Substitution]:
+    """``forall(Cond, Action)``: every solution of Cond also satisfies Action."""
+    condition, action = args
+    for solution in ctx.engine.solve(condition, dict(subst), ctx.depth + 1):
+        satisfied = False
+        for _ in ctx.engine.solve(action, dict(solution), ctx.depth + 1):
+            satisfied = True
+            break
+        if not satisfied:
+            return
+    yield subst
+
+
+def builtin_not(ctx: BuiltinContext, args: Sequence[Term],
+                subst: Substitution) -> Iterator[Substitution]:
+    """``not(Goal)``: negation as failure (alias of ``\\+``)."""
+    for _ in ctx.engine.solve(args[0], dict(subst), ctx.depth + 1):
+        return
+    yield subst
+
+
+def builtin_ground(ctx: BuiltinContext, args: Sequence[Term],
+                   subst: Substitution) -> Iterator[Substitution]:
+    if is_ground(resolve(args[0], subst)):
+        yield subst
+
+
+def builtin_number(ctx: BuiltinContext, args: Sequence[Term],
+                   subst: Substitution) -> Iterator[Substitution]:
+    term = resolve(args[0], subst)
+    if isinstance(term, Atom) and isinstance(term.value, (int, float)) and not isinstance(
+        term.value, bool
+    ):
+        yield subst
+
+
+def builtin_succ_throw(ctx: BuiltinContext, args: Sequence[Term],
+                       subst: Substitution) -> Iterator[Substitution]:
+    raise InferenceError(str(resolve(args[0], subst)))
+
+
+#: Registry of builtin predicates keyed by ``(functor, arity)``.
+BUILTINS: dict[tuple[str, int], Builtin] = {
+    ("true", 0): builtin_true,
+    ("fail", 0): builtin_fail,
+    ("false", 0): builtin_fail,
+    ("=", 2): builtin_unify,
+    ("\\=", 2): builtin_not_unifiable,
+    ("==", 2): builtin_structural_eq,
+    ("\\==", 2): builtin_structural_neq,
+    ("is", 2): builtin_is,
+    ("<", 2): _comparison(lambda a, b: a < b),
+    ("=<", 2): _comparison(lambda a, b: a <= b),
+    (">", 2): _comparison(lambda a, b: a > b),
+    (">=", 2): _comparison(lambda a, b: a >= b),
+    ("=:=", 2): _comparison(lambda a, b: a == b),
+    ("=\\=", 2): _comparison(lambda a, b: a != b),
+    ("between", 3): builtin_between,
+    ("member", 2): builtin_member,
+    ("length", 2): builtin_length,
+    ("append", 3): builtin_append,
+    ("sort", 2): builtin_sort,
+    ("msort", 2): builtin_msort,
+    ("findall", 3): builtin_findall,
+    ("setof", 3): builtin_setof,
+    ("forall", 2): builtin_forall,
+    ("not", 1): builtin_not,
+    ("ground", 1): builtin_ground,
+    ("number", 1): builtin_number,
+    ("throw", 1): builtin_succ_throw,
+}

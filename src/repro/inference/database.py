@@ -1,0 +1,79 @@
+"""Rule database for the inference engine.
+
+A :class:`RuleDatabase` stores facts and rules indexed by predicate indicator
+``(functor, arity)``, mirroring how Kaskade loads explicit constraints (facts
+mined from the query and schema), constraint mining rules, and view templates
+into SWI-Prolog before enumeration (§IV).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.inference.terms import Rule, Struct, Term, fact as make_fact, struct
+
+
+class RuleDatabase:
+    """An ordered collection of facts and rules, indexed by predicate."""
+
+    def __init__(self, rules: Iterable[Rule] = ()) -> None:
+        self._by_indicator: dict[tuple[str, int], list[Rule]] = {}
+        for item in rules:
+            self.add(item)
+
+    # ------------------------------------------------------------------ build
+    def add(self, rule: Rule) -> None:
+        """Append a rule (clause order is preserved, as in Prolog)."""
+        self._by_indicator.setdefault(rule.head.indicator, []).append(rule)
+
+    def add_fact(self, functor: str, *args: object) -> Rule:
+        """Convenience: assert a ground fact ``functor(args...)``."""
+        new_fact = make_fact(functor, *args)
+        self.add(new_fact)
+        return new_fact
+
+    def add_all(self, rules: Iterable[Rule]) -> None:
+        """Append many rules."""
+        for item in rules:
+            self.add(item)
+
+    def retract_all(self, functor: str, arity: int) -> int:
+        """Remove every clause of a predicate; returns the number removed."""
+        removed = len(self._by_indicator.get((functor, arity), ()))
+        self._by_indicator.pop((functor, arity), None)
+        return removed
+
+    def extend(self, other: "RuleDatabase") -> None:
+        """Append all clauses from another database."""
+        for clause in other:
+            self.add(clause)
+
+    def copy(self) -> "RuleDatabase":
+        """Shallow copy (rules are immutable so sharing them is safe)."""
+        clone = RuleDatabase()
+        for clause in self:
+            clone.add(clause)
+        return clone
+
+    # ------------------------------------------------------------------ query
+    def clauses(self, functor: str, arity: int) -> list[Rule]:
+        """All clauses for a predicate, in assertion order."""
+        return list(self._by_indicator.get((functor, arity), ()))
+
+    def has_predicate(self, functor: str, arity: int) -> bool:
+        """Whether at least one clause exists for the predicate."""
+        return bool(self._by_indicator.get((functor, arity)))
+
+    def predicates(self) -> list[tuple[str, int]]:
+        """All predicate indicators with at least one clause."""
+        return [key for key, clauses in self._by_indicator.items() if clauses]
+
+    def __iter__(self) -> Iterator[Rule]:
+        for clauses in self._by_indicator.values():
+            yield from clauses
+
+    def __len__(self) -> int:
+        return sum(len(clauses) for clauses in self._by_indicator.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RuleDatabase(predicates={len(self._by_indicator)}, clauses={len(self)})"

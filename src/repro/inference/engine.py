@@ -1,0 +1,216 @@
+"""SLD resolution engine with negation-as-failure and builtins.
+
+The engine plays the role of SWI-Prolog in Kaskade (§IV): it evaluates view
+templates and constraint mining rules against the facts extracted from a query
+and a graph schema.  It supports:
+
+* depth-first SLD resolution with backtracking and clause-order semantics,
+* negation as failure (``\\+``),
+* arithmetic (``is``, comparisons), list builtins (``member``, ``length``,
+  ``append``, ``sort``, ``between``), and
+* the higher-order predicates ``findall/3``, ``setof/3``-style collection, and
+  ``forall/2``, which the paper notes are the reason Prolog (rather than plain
+  Datalog) was chosen.
+
+Solutions are produced lazily as substitutions; :meth:`InferenceEngine.query`
+returns them as plain Python dictionaries keyed by variable name.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import InferenceError, UnknownPredicateError
+from repro.inference.builtins import BUILTINS, BuiltinContext
+from repro.inference.database import RuleDatabase
+from repro.inference.terms import (
+    NEGATION_FUNCTOR,
+    Atom,
+    Rule,
+    Struct,
+    Term,
+    Var,
+    from_python,
+    struct,
+    to_python,
+    variables_in,
+)
+from repro.inference.unify import Substitution, resolve, unify
+
+
+class InferenceEngine:
+    """Evaluates goals against a :class:`RuleDatabase` via SLD resolution."""
+
+    def __init__(self, database: RuleDatabase | None = None,
+                 max_depth: int = 2000,
+                 strict: bool = False) -> None:
+        """Create an engine.
+
+        Args:
+            database: Initial rule database (a fresh one is created if omitted).
+            max_depth: Maximum resolution depth; exceeding it raises
+                :class:`InferenceError` to catch runaway recursion in rules.
+            strict: When true, calling an unknown predicate raises
+                :class:`UnknownPredicateError` instead of silently failing
+                (the latter matches Prolog's ``unknown`` flag set to ``fail``).
+        """
+        self.database = database if database is not None else RuleDatabase()
+        self.max_depth = max_depth
+        self.strict = strict
+        self._rename_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------ public
+    def ask(self, goal: Struct | str, *args: Any) -> bool:
+        """Whether at least one solution exists for the goal."""
+        for _ in self.solve(self._coerce_goal(goal, args)):
+            return True
+        return False
+
+    def query(self, goal: Struct | str, *args: Any,
+              limit: int | None = None) -> list[dict[str, Any]]:
+        """All solutions for the goal as ``{variable name: Python value}`` dicts.
+
+        Variables bound to non-ground terms are returned as terms; ground
+        terms are converted to plain Python values.
+        """
+        goal_term = self._coerce_goal(goal, args)
+        wanted = sorted(variables_in(goal_term), key=lambda v: (v.name, v.index))
+        solutions: list[dict[str, Any]] = []
+        for subst in self.solve(goal_term):
+            binding: dict[str, Any] = {}
+            for variable in wanted:
+                value = resolve(variable, subst)
+                if isinstance(value, Var):
+                    # Unbound in this solution (e.g. the template variable of a
+                    # findall goal); omit it rather than reporting a raw Var.
+                    continue
+                binding[str(variable)] = to_python(value)
+            solutions.append(binding)
+            if limit is not None and len(solutions) >= limit:
+                break
+        return solutions
+
+    def query_distinct(self, goal: Struct | str, *args: Any) -> list[dict[str, Any]]:
+        """Like :meth:`query` but with duplicate solutions removed (order-preserving)."""
+        seen: list[dict[str, Any]] = []
+        for solution in self.query(goal, *args):
+            if solution not in seen:
+                seen.append(solution)
+        return seen
+
+    def count(self, goal: Struct | str, *args: Any) -> int:
+        """Number of solutions for the goal."""
+        return sum(1 for _ in self.solve(self._coerce_goal(goal, args)))
+
+    # ----------------------------------------------------------------- solving
+    def solve(self, goal: Term, subst: Substitution | None = None,
+              depth: int = 0) -> Iterator[Substitution]:
+        """Yield substitutions satisfying ``goal`` (a single goal term)."""
+        yield from self._solve_goals([goal], subst or {}, depth)
+
+    def solve_all(self, goals: Sequence[Term], subst: Substitution | None = None,
+                  depth: int = 0) -> Iterator[Substitution]:
+        """Yield substitutions satisfying a conjunction of goals."""
+        yield from self._solve_goals(list(goals), subst or {}, depth)
+
+    def _solve_goals(self, goals: list[Term], subst: Substitution,
+                     depth: int) -> Iterator[Substitution]:
+        if depth > self.max_depth:
+            raise InferenceError(
+                f"maximum resolution depth {self.max_depth} exceeded; "
+                "a rule may be recursing without bound"
+            )
+        if not goals:
+            yield subst
+            return
+        goal, *rest = goals
+        goal = resolve(goal, subst)
+
+        if isinstance(goal, Atom):
+            # Treat a bare atom as a 0-arity predicate call (e.g. `true`).
+            if goal.value is True or goal.value == "true":
+                yield from self._solve_goals(rest, subst, depth + 1)
+                return
+            goal = Struct(str(goal.value), ())
+        if not isinstance(goal, Struct):
+            raise InferenceError(f"cannot call non-callable term {goal!r}")
+
+        # Negation as failure.
+        if goal.functor == NEGATION_FUNCTOR and goal.arity == 1:
+            inner = goal.args[0]
+            for _ in self._solve_goals([inner], subst, depth + 1):
+                return
+            yield from self._solve_goals(rest, subst, depth + 1)
+            return
+
+        # Conjunction / disjunction goals built with ','/2 and ';'/2.
+        if goal.functor == "," and goal.arity == 2:
+            yield from self._solve_goals([goal.args[0], goal.args[1], *rest], subst, depth + 1)
+            return
+        if goal.functor == ";" and goal.arity == 2:
+            for branch in goal.args:
+                yield from self._solve_goals([branch, *rest], subst, depth + 1)
+            return
+
+        # Builtins.
+        builtin = BUILTINS.get(goal.indicator)
+        if builtin is not None:
+            context = BuiltinContext(engine=self, depth=depth)
+            for new_subst in builtin(context, goal.args, subst):
+                yield from self._solve_goals(rest, new_subst, depth + 1)
+            return
+
+        # User-defined clauses.
+        clauses = self.database.clauses(*goal.indicator)
+        if not clauses:
+            if self.strict:
+                raise UnknownPredicateError(*goal.indicator)
+            return
+        for clause in clauses:
+            renamed = self._rename(clause)
+            new_subst = unify(goal, renamed.head, subst)
+            if new_subst is None:
+                continue
+            yield from self._solve_goals(list(renamed.body) + rest, new_subst, depth + 1)
+
+    # ----------------------------------------------------------------- helpers
+    def _rename(self, clause: Rule) -> Rule:
+        """Rename clause variables apart so recursive calls never collide."""
+        index = next(self._rename_counter)
+        mapping: dict[Var, Var] = {}
+
+        def rename_term(term: Term) -> Term:
+            if isinstance(term, Var):
+                if term not in mapping:
+                    mapping[term] = Var(term.name, index)
+                return mapping[term]
+            if isinstance(term, Struct):
+                return Struct(term.functor, tuple(rename_term(a) for a in term.args))
+            return term
+
+        head = rename_term(clause.head)
+        body = tuple(rename_term(goal) for goal in clause.body)
+        assert isinstance(head, Struct)
+        return Rule(head=head, body=body)
+
+    @staticmethod
+    def _coerce_goal(goal: Struct | str, args: tuple[Any, ...]) -> Struct:
+        if isinstance(goal, Struct):
+            if args:
+                raise InferenceError("pass either a Struct goal or a functor plus args, not both")
+            return goal
+        return struct(goal, *args)
+
+    # --------------------------------------------------------------- assertion
+    def assert_fact(self, functor: str, *args: Any) -> None:
+        """Add a ground fact to the database."""
+        self.database.add_fact(functor, *args)
+
+    def assert_rule(self, rule: Rule) -> None:
+        """Add a rule to the database."""
+        self.database.add(rule)
+
+    def consult(self, rules: Iterable[Rule]) -> None:
+        """Add many rules/facts (analogous to consulting a Prolog file)."""
+        self.database.add_all(rules)

@@ -1,0 +1,212 @@
+"""Logic terms for the Prolog-like inference engine.
+
+Kaskade expresses view templates and constraint mining rules as Prolog rules
+and evaluates them with SWI-Prolog (§IV).  This subpackage is the offline
+replacement for that inference engine.  Terms come in three flavours:
+
+* :class:`Var` — a logic variable (``X``, ``Y``, ``K`` …).
+* :class:`Atom` — a constant; any hashable Python value (strings, ints, tuples)
+  is treated as an atom by wrapping it at the API boundary.
+* :class:`Struct` — a compound term ``functor(arg1, …, argN)``; a Prolog list
+  is represented as nested ``'.'/2`` structs with ``[]`` as the empty list.
+
+Users mostly build terms through the convenience constructors :func:`var`,
+:func:`atom`, :func:`struct`, and :func:`from_python` which converts plain
+Python lists/tuples into Prolog lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence, Union
+
+Term = Union["Var", "Atom", "Struct"]
+
+#: Functor used for Prolog list cells.
+LIST_FUNCTOR = "."
+#: Atom used for the empty Prolog list.
+EMPTY_LIST_NAME = "[]"
+
+
+@dataclass(frozen=True)
+class Var:
+    """A logic variable, identified by name (and an optional rename index)."""
+
+    name: str
+    index: int = 0
+
+    def __str__(self) -> str:
+        return self.name if self.index == 0 else f"{self.name}_{self.index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Var({self})"
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A constant term wrapping an arbitrary hashable Python value."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Atom({self.value!r})"
+
+
+@dataclass(frozen=True)
+class Struct:
+    """A compound term ``functor(args...)``."""
+
+    functor: str
+    args: tuple[Term, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def indicator(self) -> tuple[str, int]:
+        """The predicate indicator ``(functor, arity)``."""
+        return (self.functor, self.arity)
+
+    def __str__(self) -> str:
+        if is_list_term(self):
+            return "[" + ", ".join(str(t) for t in iter_list(self)) + "]"
+        return f"{self.functor}({', '.join(str(a) for a in self.args)})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Struct({self})"
+
+
+EMPTY_LIST = Atom(EMPTY_LIST_NAME)
+
+
+# ------------------------------------------------------------------ builders
+def var(name: str) -> Var:
+    """Create a logic variable."""
+    return Var(name)
+
+
+def atom(value: Any) -> Atom:
+    """Create a constant term."""
+    return Atom(value)
+
+
+def struct(functor: str, *args: Any) -> Struct:
+    """Create a compound term, converting plain Python arguments to terms."""
+    return Struct(functor, tuple(from_python(a) for a in args))
+
+
+def from_python(value: Any) -> Term:
+    """Convert a Python value to a term.
+
+    Terms pass through unchanged; lists/tuples become Prolog lists; everything
+    else becomes an :class:`Atom`.
+    """
+    if isinstance(value, (Var, Atom, Struct)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return make_list([from_python(v) for v in value])
+    return Atom(value)
+
+
+def to_python(term: Term) -> Any:
+    """Convert a ground term back into a plain Python value.
+
+    Atoms unwrap to their value, Prolog lists become Python lists, and other
+    structs become ``(functor, [args...])`` tuples.  Variables are returned
+    unchanged (callers should only convert ground terms).
+    """
+    if isinstance(term, Atom):
+        if term.value == EMPTY_LIST_NAME:
+            return []
+        return term.value
+    if isinstance(term, Struct):
+        if is_list_term(term):
+            return [to_python(item) for item in iter_list(term)]
+        return (term.functor, [to_python(a) for a in term.args])
+    return term
+
+
+def make_list(items: Sequence[Term]) -> Term:
+    """Build a Prolog list term from a sequence of terms."""
+    result: Term = EMPTY_LIST
+    for item in reversed(items):
+        result = Struct(LIST_FUNCTOR, (item, result))
+    return result
+
+
+def is_list_term(term: Term) -> bool:
+    """Whether a term is a (possibly empty) proper Prolog list."""
+    while True:
+        if isinstance(term, Atom) and term.value == EMPTY_LIST_NAME:
+            return True
+        if isinstance(term, Struct) and term.functor == LIST_FUNCTOR and term.arity == 2:
+            term = term.args[1]
+            continue
+        return False
+
+
+def iter_list(term: Term) -> Iterator[Term]:
+    """Iterate the elements of a proper Prolog list term."""
+    while isinstance(term, Struct) and term.functor == LIST_FUNCTOR and term.arity == 2:
+        yield term.args[0]
+        term = term.args[1]
+
+
+def variables_in(term: Term) -> set[Var]:
+    """All variables occurring in a term."""
+    if isinstance(term, Var):
+        return {term}
+    if isinstance(term, Struct):
+        found: set[Var] = set()
+        for arg in term.args:
+            found |= variables_in(arg)
+        return found
+    return set()
+
+
+def is_ground(term: Term) -> bool:
+    """Whether the term contains no variables."""
+    return not variables_in(term)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Horn clause ``head :- body``; a fact is a rule with an empty body.
+
+    Body goals may be plain structs, or negations represented by wrapping the
+    goal in a ``\\+``/1 struct (see :func:`neg`).
+    """
+
+    head: Struct
+    body: tuple[Term, ...] = ()
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def __str__(self) -> str:
+        if self.is_fact:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(str(g) for g in self.body)}."
+
+
+def fact(functor: str, *args: Any) -> Rule:
+    """Create a fact (a rule with no body)."""
+    return Rule(head=struct(functor, *args))
+
+
+def rule(head: Struct, *body: Term) -> Rule:
+    """Create a rule from a head struct and body goal terms."""
+    return Rule(head=head, body=tuple(body))
+
+
+NEGATION_FUNCTOR = "\\+"
+
+
+def neg(goal: Term) -> Struct:
+    """Negation-as-failure wrapper (Prolog's ``\\+``/``not``)."""
+    return Struct(NEGATION_FUNCTOR, (from_python(goal),))

@@ -1,0 +1,80 @@
+"""Unification and substitutions.
+
+A substitution maps variables to terms.  Substitutions are treated as
+immutable: ``unify`` returns a new dict (or ``None`` on failure), and ``walk``
+/ ``resolve`` apply a substitution to a term.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.inference.terms import Atom, Struct, Term, Var
+
+Substitution = dict[Var, Term]
+
+
+def walk(term: Term, subst: Mapping[Var, Term]) -> Term:
+    """Follow variable bindings until reaching a non-variable or unbound variable."""
+    while isinstance(term, Var) and term in subst:
+        term = subst[term]
+    return term
+
+
+def resolve(term: Term, subst: Mapping[Var, Term]) -> Term:
+    """Deeply apply a substitution to a term."""
+    term = walk(term, subst)
+    if isinstance(term, Struct):
+        return Struct(term.functor, tuple(resolve(a, subst) for a in term.args))
+    return term
+
+
+def occurs_in(variable: Var, term: Term, subst: Mapping[Var, Term]) -> bool:
+    """Occurs check: does ``variable`` occur in ``term`` under ``subst``?"""
+    term = walk(term, subst)
+    if isinstance(term, Var):
+        return term == variable
+    if isinstance(term, Struct):
+        return any(occurs_in(variable, a, subst) for a in term.args)
+    return False
+
+
+def unify(left: Term, right: Term, subst: Optional[Substitution] = None,
+          occurs_check: bool = False) -> Optional[Substitution]:
+    """Unify two terms under an existing substitution.
+
+    Returns the extended substitution, or ``None`` when unification fails.
+    The occurs check is off by default (as in standard Prolog) but can be
+    enabled for the property-based tests.
+    """
+    if subst is None:
+        subst = {}
+    stack: list[tuple[Term, Term]] = [(left, right)]
+    result: Substitution = dict(subst)
+    while stack:
+        a, b = stack.pop()
+        a = walk(a, result)
+        b = walk(b, result)
+        if a == b:
+            continue
+        if isinstance(a, Var):
+            if occurs_check and occurs_in(a, b, result):
+                return None
+            result[a] = b
+            continue
+        if isinstance(b, Var):
+            if occurs_check and occurs_in(b, a, result):
+                return None
+            result[b] = a
+            continue
+        if isinstance(a, Atom) and isinstance(b, Atom):
+            if a.value == b.value:
+                continue
+            return None
+        if isinstance(a, Struct) and isinstance(b, Struct):
+            if a.functor != b.functor or a.arity != b.arity:
+                return None
+            stack.extend(zip(a.args, b.args))
+            continue
+        return None
+    return result

@@ -1,0 +1,78 @@
+"""Query layer: Cypher-like graph patterns, execution, cost, and aggregation.
+
+This subpackage replaces the query-processing role Neo4j plays in the paper:
+parsing graph-pattern queries (MATCH / WHERE / RETURN with variable-length
+paths), evaluating them over property graphs, estimating their evaluation
+cost, and applying the relational (SELECT / GROUP BY) wrapper stages of the
+hybrid query language.
+"""
+
+from repro.query.ast import (
+    AGGREGATE_FUNCTIONS,
+    Condition,
+    EdgePattern,
+    GraphQuery,
+    NodePattern,
+    PathPattern,
+    PropertyRef,
+    ReturnItem,
+    edge,
+    node,
+    path,
+    ref,
+    returns,
+)
+from repro.query.parser import parse_pattern, parse_query, tokenize
+from repro.query.executor import (
+    ExecutionResult,
+    ExecutionStats,
+    QueryExecutor,
+    execute_query,
+)
+from repro.query.cost import CostEstimate, QueryCostModel, estimate_query_cost
+from repro.query.aggregates import (
+    Distinct,
+    Extend,
+    Filter,
+    GroupBy,
+    Limit,
+    OrderBy,
+    Pipeline,
+    Select,
+    Stage,
+)
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "Condition",
+    "CostEstimate",
+    "Distinct",
+    "EdgePattern",
+    "ExecutionResult",
+    "ExecutionStats",
+    "Extend",
+    "Filter",
+    "GraphQuery",
+    "GroupBy",
+    "Limit",
+    "NodePattern",
+    "OrderBy",
+    "PathPattern",
+    "Pipeline",
+    "PropertyRef",
+    "QueryCostModel",
+    "QueryExecutor",
+    "ReturnItem",
+    "Select",
+    "Stage",
+    "edge",
+    "estimate_query_cost",
+    "execute_query",
+    "node",
+    "parse_pattern",
+    "parse_query",
+    "path",
+    "ref",
+    "returns",
+    "tokenize",
+]

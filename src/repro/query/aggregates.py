@@ -1,0 +1,173 @@
+"""Relational pipeline stages over query results.
+
+The paper's hybrid query language wraps the Cypher MATCH clause in relational
+constructs — nested SELECT / GROUP BY / aggregate layers, as in Listing 1's
+job blast radius query (§III-B).  This module models those outer layers as a
+small pipeline of row transformations that can be applied to the rows produced
+by :class:`~repro.query.executor.QueryExecutor`.
+
+Example (the relational part of Listing 1)::
+
+    pipeline = Pipeline([
+        GroupBy(keys=["A", "B"], aggregates={"T_CPU": ("sum", "B_cpu")}),
+        GroupBy(keys=["A_pipeline"], aggregates={"avg_cpu": ("avg", "T_CPU")}),
+    ])
+    rows = pipeline.run(match_rows)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import QueryError
+
+Row = dict[str, Any]
+
+#: Supported aggregate function names.
+AGGREGATES: dict[str, Callable[[list[Any]], Any]] = {
+    "count": len,
+    "sum": sum,
+    "avg": lambda values: sum(values) / len(values) if values else None,
+    "min": min,
+    "max": max,
+    "collect": list,
+}
+
+
+def _aggregate(name: str, values: list[Any]) -> Any:
+    function = AGGREGATES.get(name)
+    if function is None:
+        raise QueryError(f"unsupported aggregate function {name!r}")
+    non_null = [v for v in values if v is not None]
+    if not non_null and name != "count" and name != "collect":
+        return None
+    return function(non_null)
+
+
+class Stage:
+    """Base class for pipeline stages."""
+
+    def apply(self, rows: list[Row]) -> list[Row]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class Select(Stage):
+    """Project (and optionally rename) columns: ``{"output": "input", ...}``."""
+
+    columns: Mapping[str, str]
+
+    def apply(self, rows: list[Row]) -> list[Row]:
+        return [
+            {output: row.get(source) for output, source in self.columns.items()}
+            for row in rows
+        ]
+
+
+@dataclass
+class Filter(Stage):
+    """Keep rows satisfying a predicate."""
+
+    predicate: Callable[[Row], bool]
+
+    def apply(self, rows: list[Row]) -> list[Row]:
+        return [row for row in rows if self.predicate(row)]
+
+
+@dataclass
+class Extend(Stage):
+    """Add a computed column to each row."""
+
+    column: str
+    function: Callable[[Row], Any]
+
+    def apply(self, rows: list[Row]) -> list[Row]:
+        return [{**row, self.column: self.function(row)} for row in rows]
+
+
+@dataclass
+class GroupBy(Stage):
+    """SQL-style GROUP BY with aggregates.
+
+    Attributes:
+        keys: Grouping columns (empty for a global aggregate).
+        aggregates: Mapping ``output column -> (aggregate name, input column)``.
+    """
+
+    keys: Sequence[str]
+    aggregates: Mapping[str, tuple[str, str]] = field(default_factory=dict)
+
+    def apply(self, rows: list[Row]) -> list[Row]:
+        groups: dict[tuple, list[Row]] = {}
+        for row in rows:
+            key = tuple(row.get(k) for k in self.keys)
+            groups.setdefault(key, []).append(row)
+        result: list[Row] = []
+        for key, members in sorted(groups.items(), key=lambda kv: str(kv[0])):
+            output: Row = dict(zip(self.keys, key))
+            for column, (aggregate_name, source) in self.aggregates.items():
+                values = [member.get(source) for member in members]
+                output[column] = _aggregate(aggregate_name, values)
+            result.append(output)
+        return result
+
+
+@dataclass
+class OrderBy(Stage):
+    """Sort rows by one or more columns."""
+
+    columns: Sequence[str]
+    descending: bool = False
+
+    def apply(self, rows: list[Row]) -> list[Row]:
+        return sorted(
+            rows,
+            key=lambda row: tuple(_sortable(row.get(c)) for c in self.columns),
+            reverse=self.descending,
+        )
+
+
+@dataclass
+class Limit(Stage):
+    """Keep at most ``count`` rows."""
+
+    count: int
+
+    def apply(self, rows: list[Row]) -> list[Row]:
+        return rows[: self.count]
+
+
+@dataclass
+class Distinct(Stage):
+    """Remove duplicate rows (order-preserving)."""
+
+    def apply(self, rows: list[Row]) -> list[Row]:
+        seen: list[Row] = []
+        for row in rows:
+            if row not in seen:
+                seen.append(row)
+        return seen
+
+
+def _sortable(value: Any) -> tuple[int, Any]:
+    """Sort key tolerant of None and mixed types."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (1, value)
+    return (2, str(value))
+
+
+@dataclass
+class Pipeline:
+    """An ordered list of stages applied to a row set."""
+
+    stages: Sequence[Stage]
+
+    def run(self, rows: Iterable[Row]) -> list[Row]:
+        """Apply every stage in order and return the final row set."""
+        current = [dict(row) for row in rows]
+        for stage in self.stages:
+            current = stage.apply(current)
+        return current

@@ -1,0 +1,345 @@
+"""Abstract syntax tree for KASKADE's hybrid query language.
+
+The paper's query language (§III-B) combines Cypher graph-pattern clauses
+(for path traversals) with relational constructs (for filters/aggregates).
+This module models the graph-pattern part:
+
+* :class:`NodePattern` — ``(q_j1:Job)`` or ``(x)`` or ``(x {cpu: 10})``.
+* :class:`EdgePattern` — ``-[:WRITES_TO]->``, ``<-[:IS_READ_BY]-``, or a
+  variable-length pattern ``-[r*0..8]->``.
+* :class:`PathPattern` — an alternating node/edge/node/... chain.
+* :class:`ReturnItem` — ``q_j1 AS A`` or ``count(b) AS n`` or ``a.cpu``.
+* :class:`Condition` — a WHERE predicate ``a.cpu > 10``.
+* :class:`GraphQuery` — MATCH + WHERE + RETURN (+ DISTINCT/LIMIT).
+
+The relational part (nested SELECT/GROUP BY wrappers, as in Listing 1) is
+modelled by :mod:`repro.query.aggregates` as pipeline stages applied to the
+row set the graph pattern produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator, Sequence
+
+from repro.errors import QueryError
+
+#: Aggregate function names allowed in RETURN items.
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max", "collect")
+
+#: Comparison operators allowed in WHERE conditions.
+COMPARISON_OPERATORS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class NodePattern:
+    """A node pattern ``(variable:Label {prop: value, ...})``."""
+
+    variable: str
+    label: str | None = None
+    properties: tuple[tuple[str, Any], ...] = ()
+
+    def matches_type(self, vertex_type: str) -> bool:
+        """Whether a vertex of the given type can satisfy this pattern."""
+        return self.label is None or self.label == vertex_type
+
+    def __str__(self) -> str:
+        label = f":{self.label}" if self.label else ""
+        props = ""
+        if self.properties:
+            inner = ", ".join(f"{k}: {v!r}" for k, v in self.properties)
+            props = f" {{{inner}}}"
+        return f"({self.variable}{label}{props})"
+
+
+@dataclass(frozen=True)
+class EdgePattern:
+    """An edge pattern, fixed (1 hop) or variable-length (``*min..max``).
+
+    Attributes:
+        label: Edge label restriction, or None for "any label".
+        direction: ``"out"`` for ``-[]->``, ``"in"`` for ``<-[]-``.
+        variable: Optional variable name bound to the traversed edge(s).
+        min_hops / max_hops: Hop bounds; both 1 for a plain edge.  ``min_hops``
+            may be 0 (as in Listing 1's ``-[r*0..8]->``), in which case the two
+            endpoint node patterns may bind to the same vertex.
+    """
+
+    label: str | None = None
+    direction: str = "out"
+    variable: str | None = None
+    min_hops: int = 1
+    max_hops: int = 1
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("out", "in"):
+            raise QueryError(f"edge direction must be 'out' or 'in', got {self.direction!r}")
+        if self.min_hops < 0 or self.max_hops < self.min_hops:
+            raise QueryError(
+                f"invalid hop bounds *{self.min_hops}..{self.max_hops}"
+            )
+
+    @property
+    def is_variable_length(self) -> bool:
+        """Whether this pattern spans a variable number of hops."""
+        return not (self.min_hops == 1 and self.max_hops == 1)
+
+    def reversed(self) -> "EdgePattern":
+        """The same pattern with the direction flipped."""
+        return replace(self, direction="in" if self.direction == "out" else "out")
+
+    def __str__(self) -> str:
+        name = self.variable or ""
+        label = f":{self.label}" if self.label else ""
+        hops = ""
+        if self.is_variable_length:
+            hops = f"*{self.min_hops}..{self.max_hops}"
+        core = f"[{name}{label}{hops}]" if (name or label or hops) else ""
+        if self.direction == "out":
+            return f"-{core}->"
+        return f"<-{core}-"
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """An alternating sequence ``node, edge, node, edge, ..., node``."""
+
+    nodes: tuple[NodePattern, ...]
+    edges: tuple[EdgePattern, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.edges) + 1:
+            raise QueryError(
+                "a path pattern needs exactly one more node than edges "
+                f"(got {len(self.nodes)} nodes, {len(self.edges)} edges)"
+            )
+        if not self.nodes:
+            raise QueryError("a path pattern needs at least one node")
+
+    @property
+    def length(self) -> int:
+        """Number of edge patterns in the path."""
+        return len(self.edges)
+
+    def hop_bounds(self) -> tuple[int, int]:
+        """Total (min, max) number of graph hops this path may span."""
+        return (
+            sum(e.min_hops for e in self.edges),
+            sum(e.max_hops for e in self.edges),
+        )
+
+    def variables(self) -> list[str]:
+        """All node variables in order of appearance."""
+        return [n.variable for n in self.nodes]
+
+    def __str__(self) -> str:
+        parts: list[str] = [str(self.nodes[0])]
+        for edge, node in zip(self.edges, self.nodes[1:]):
+            parts.append(str(edge))
+            parts.append(str(node))
+        return "".join(parts)
+
+
+@dataclass(frozen=True)
+class PropertyRef:
+    """A reference to ``variable.property`` (or just ``variable``)."""
+
+    variable: str
+    property: str | None = None
+
+    def __str__(self) -> str:
+        return self.variable if self.property is None else f"{self.variable}.{self.property}"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A WHERE predicate ``lhs op value`` where lhs is a property reference."""
+
+    ref: PropertyRef
+    operator: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.operator not in COMPARISON_OPERATORS:
+            raise QueryError(f"unsupported comparison operator {self.operator!r}")
+
+    def evaluate(self, actual: Any) -> bool:
+        """Apply the comparison to a concrete value (None never matches)."""
+        if actual is None:
+            return False
+        if self.operator == "=":
+            return actual == self.value
+        if self.operator == "<>":
+            return actual != self.value
+        if self.operator == "<":
+            return actual < self.value
+        if self.operator == "<=":
+            return actual <= self.value
+        if self.operator == ">":
+            return actual > self.value
+        return actual >= self.value
+
+    def __str__(self) -> str:
+        return f"{self.ref} {self.operator} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class ReturnItem:
+    """A RETURN projection: a plain reference or an aggregate over one."""
+
+    ref: PropertyRef
+    alias: str | None = None
+    aggregate: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.aggregate is not None and self.aggregate not in AGGREGATE_FUNCTIONS:
+            raise QueryError(f"unsupported aggregate function {self.aggregate!r}")
+
+    @property
+    def output_name(self) -> str:
+        """Column name of this item in the result rows."""
+        if self.alias:
+            return self.alias
+        if self.aggregate:
+            return f"{self.aggregate}({self.ref})"
+        return str(self.ref)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.aggregate is not None
+
+    def __str__(self) -> str:
+        expression = f"{self.aggregate}({self.ref})" if self.aggregate else str(self.ref)
+        return f"{expression} AS {self.alias}" if self.alias else expression
+
+
+@dataclass(frozen=True)
+class GraphQuery:
+    """A full graph-pattern query: MATCH ... WHERE ... RETURN ...
+
+    Attributes:
+        match: One or more path patterns (comma-separated in Cypher syntax).
+        where: Conjunctive property conditions.
+        returns: Projections; when any item is an aggregate, non-aggregate
+            items act as grouping keys (Cypher semantics).
+        distinct: Whether to deduplicate result rows.
+        limit: Optional cap on the number of result rows.
+        name: Optional human-readable name (e.g. ``"Q1: Job Blast Radius"``).
+    """
+
+    match: tuple[PathPattern, ...]
+    where: tuple[Condition, ...] = ()
+    returns: tuple[ReturnItem, ...] = ()
+    distinct: bool = False
+    limit: int | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.match:
+            raise QueryError("a graph query needs at least one path pattern")
+        declared = self.node_variables()
+        for condition in self.where:
+            if condition.ref.variable not in declared:
+                raise QueryError(
+                    f"WHERE references undeclared variable {condition.ref.variable!r}"
+                )
+        for item in self.returns:
+            if item.ref.variable not in declared and item.ref.variable != "*":
+                raise QueryError(
+                    f"RETURN references undeclared variable {item.ref.variable!r}"
+                )
+
+    # ------------------------------------------------------------------ access
+    def node_variables(self) -> list[str]:
+        """All distinct node variables in order of first appearance."""
+        seen: dict[str, None] = {}
+        for path in self.match:
+            for node in path.nodes:
+                seen.setdefault(node.variable, None)
+        return list(seen)
+
+    def node_patterns(self) -> Iterator[NodePattern]:
+        """All node patterns across all paths."""
+        for path in self.match:
+            yield from path.nodes
+
+    def edge_patterns(self) -> Iterator[EdgePattern]:
+        """All edge patterns across all paths."""
+        for path in self.match:
+            yield from path.edges
+
+    def variable_label(self, variable: str) -> str | None:
+        """The label declared for a node variable (first non-None wins)."""
+        for node in self.node_patterns():
+            if node.variable == variable and node.label is not None:
+                return node.label
+        return None
+
+    def has_variable_length_paths(self) -> bool:
+        """Whether any edge pattern is variable-length."""
+        return any(edge.is_variable_length for edge in self.edge_patterns())
+
+    def projected_variables(self) -> list[str]:
+        """Node variables projected out by the RETURN clause."""
+        projected: list[str] = []
+        for item in self.returns:
+            if item.ref.variable not in projected:
+                projected.append(item.ref.variable)
+        return projected
+
+    def with_name(self, name: str) -> "GraphQuery":
+        """A copy of this query with a different name."""
+        return replace(self, name=name)
+
+    def __str__(self) -> str:
+        lines = ["MATCH " + ", ".join(str(p) for p in self.match)]
+        if self.where:
+            lines.append("WHERE " + " AND ".join(str(c) for c in self.where))
+        if self.returns:
+            distinct = "DISTINCT " if self.distinct else ""
+            lines.append("RETURN " + distinct + ", ".join(str(r) for r in self.returns))
+        if self.limit is not None:
+            lines.append(f"LIMIT {self.limit}")
+        return "\n".join(lines)
+
+
+def path(*elements: NodePattern | EdgePattern) -> PathPattern:
+    """Build a :class:`PathPattern` from an alternating element sequence."""
+    nodes = tuple(e for e in elements if isinstance(e, NodePattern))
+    edges = tuple(e for e in elements if isinstance(e, EdgePattern))
+    return PathPattern(nodes=nodes, edges=edges)
+
+
+def node(variable: str, label: str | None = None, **properties: Any) -> NodePattern:
+    """Shorthand constructor for a node pattern."""
+    return NodePattern(variable=variable, label=label,
+                       properties=tuple(sorted(properties.items())))
+
+
+def edge(label: str | None = None, direction: str = "out", variable: str | None = None,
+         min_hops: int = 1, max_hops: int = 1) -> EdgePattern:
+    """Shorthand constructor for an edge pattern."""
+    return EdgePattern(label=label, direction=direction, variable=variable,
+                       min_hops=min_hops, max_hops=max_hops)
+
+
+def ref(expression: str) -> PropertyRef:
+    """Parse a ``var`` or ``var.prop`` string into a :class:`PropertyRef`."""
+    if "." in expression:
+        variable, prop = expression.split(".", 1)
+        return PropertyRef(variable=variable, property=prop)
+    return PropertyRef(variable=expression)
+
+
+def returns(*items: str | ReturnItem | tuple[str, str]) -> tuple[ReturnItem, ...]:
+    """Build RETURN items from strings (``"a"``, ``"a.cpu"``), (expr, alias) pairs,
+    or fully-constructed :class:`ReturnItem` objects."""
+    built: list[ReturnItem] = []
+    for item in items:
+        if isinstance(item, ReturnItem):
+            built.append(item)
+        elif isinstance(item, tuple):
+            built.append(ReturnItem(ref=ref(item[0]), alias=item[1]))
+        else:
+            built.append(ReturnItem(ref=ref(item)))
+    return tuple(built)

@@ -1,0 +1,337 @@
+"""Parser for the Cypher-like graph pattern language.
+
+KASKADE uses the graph-pattern specification of Neo4j's Cypher (§III-B).  This
+parser accepts the MATCH / WHERE / RETURN / LIMIT fragment that the paper's
+queries use, including variable-length path constructs such as ``-[r*0..8]->``
+from Listing 1, and produces the :class:`~repro.query.ast.GraphQuery` AST.
+
+Supported grammar (informally)::
+
+    query      := MATCH path ("," path)* [WHERE cond (AND cond)*]
+                  [RETURN [DISTINCT] item ("," item)*] [LIMIT int]
+    path       := node (edge node)*
+    node       := "(" [ident] [":" ident] [properties] ")"
+    edge       := "-[" [ident] [":" ident] ["*" [int] [".." int]] "]->"
+                | "<-[" ... "]-"  | "-->" | "<--"
+    properties := "{" ident ":" literal ("," ident ":" literal)* "}"
+    cond       := ident ["." ident] op literal
+    item       := (func "(" ref ")" | ref) [AS ident]
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast import (
+    AGGREGATE_FUNCTIONS,
+    Condition,
+    EdgePattern,
+    GraphQuery,
+    NodePattern,
+    PathPattern,
+    PropertyRef,
+    ReturnItem,
+)
+
+_TOKEN_SPEC = [
+    ("NUMBER", r"\d+\.\d+|\d+"),
+    ("STRING", r"'[^']*'|\"[^\"]*\""),
+    ("DOTDOT", r"\.\."),
+    ("ARROW_RIGHT", r"->"),
+    ("ARROW_LEFT", r"<-"),
+    ("OP", r"<>|<=|>=|=|<|>"),
+    ("IDENT", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LBRACKET", r"\["),
+    ("RBRACKET", r"\]"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("COLON", r":"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+    ("STAR", r"\*"),
+    ("DASH", r"-"),
+    ("WS", r"\s+"),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+_KEYWORDS = {"MATCH", "WHERE", "RETURN", "AS", "AND", "DISTINCT", "LIMIT"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source offset (for error messages)."""
+
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convert query text into a token list.
+
+    Raises:
+        QuerySyntaxError: On any character that does not start a valid token.
+    """
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise QuerySyntaxError(f"unexpected character {text[position]!r}", position)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "WS":
+            if kind == "IDENT" and value.upper() in _KEYWORDS:
+                tokens.append(Token("KEYWORD", value.upper(), position))
+            else:
+                tokens.append(Token(kind, value, position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: list[Token], name: str = "") -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._name = name
+
+    # ------------------------------------------------------------- primitives
+    def _peek(self, offset: int = 0) -> Token | None:
+        index = self._index + offset
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of query")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._peek()
+        if token is None or token.kind != kind or (text is not None and token.text != text):
+            expected = text or kind
+            found = token.text if token else "end of input"
+            position = token.position if token else None
+            raise QuerySyntaxError(f"expected {expected}, found {found!r}", position)
+        return self._advance()
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self._peek()
+        if token is not None and token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "KEYWORD" and token.text == word
+
+    # ------------------------------------------------------------------ query
+    def parse_query(self) -> GraphQuery:
+        self._expect("KEYWORD", "MATCH")
+        paths = [self.parse_path()]
+        while self._accept("COMMA"):
+            paths.append(self.parse_path())
+
+        conditions: list[Condition] = []
+        if self._accept("KEYWORD", "WHERE"):
+            conditions.append(self.parse_condition())
+            while self._accept("KEYWORD", "AND"):
+                conditions.append(self.parse_condition())
+
+        items: list[ReturnItem] = []
+        distinct = False
+        if self._accept("KEYWORD", "RETURN"):
+            distinct = bool(self._accept("KEYWORD", "DISTINCT"))
+            items.append(self.parse_return_item())
+            while self._accept("COMMA"):
+                items.append(self.parse_return_item())
+
+        limit: int | None = None
+        if self._accept("KEYWORD", "LIMIT"):
+            limit_token = self._expect("NUMBER")
+            limit = int(float(limit_token.text))
+
+        trailing = self._peek()
+        if trailing is not None:
+            raise QuerySyntaxError(f"unexpected trailing input {trailing.text!r}",
+                                   trailing.position)
+        return GraphQuery(match=tuple(paths), where=tuple(conditions),
+                          returns=tuple(items), distinct=distinct, limit=limit,
+                          name=self._name)
+
+    # ------------------------------------------------------------------- paths
+    def parse_path(self) -> PathPattern:
+        nodes = [self.parse_node()]
+        edges: list[EdgePattern] = []
+        while True:
+            token = self._peek()
+            if token is None or token.kind not in ("DASH", "ARROW_LEFT"):
+                break
+            edges.append(self.parse_edge())
+            nodes.append(self.parse_node())
+        return PathPattern(nodes=tuple(nodes), edges=tuple(edges))
+
+    def parse_node(self) -> NodePattern:
+        self._expect("LPAREN")
+        variable = ""
+        label: str | None = None
+        properties: list[tuple[str, Any]] = []
+        ident = self._accept("IDENT")
+        if ident is not None:
+            variable = ident.text
+        if self._accept("COLON"):
+            label = self._expect("IDENT").text
+        if self._accept("LBRACE"):
+            properties.append(self._parse_property())
+            while self._accept("COMMA"):
+                properties.append(self._parse_property())
+            self._expect("RBRACE")
+        self._expect("RPAREN")
+        if not variable:
+            variable = f"_anon{self._index}"
+        return NodePattern(variable=variable, label=label, properties=tuple(properties))
+
+    def _parse_property(self) -> tuple[str, Any]:
+        key = self._expect("IDENT").text
+        self._expect("COLON")
+        return key, self._parse_literal()
+
+    def parse_edge(self) -> EdgePattern:
+        if self._accept("ARROW_LEFT"):
+            # "<--" shorthand (tokenized as ARROW_LEFT, DASH).
+            if not (self._peek() and self._peek().kind == "LBRACKET"):
+                self._expect("DASH")
+                return EdgePattern(direction="in")
+            # <-[ ... ]-   (incoming edge)
+            pattern = self._parse_edge_body(direction="in")
+            self._expect("DASH")
+            return pattern
+        self._expect("DASH")
+        if self._accept("ARROW_RIGHT"):
+            # "-->" shorthand (tokenized as DASH, ARROW_RIGHT).
+            return EdgePattern(direction="out")
+        token = self._peek()
+        if token is not None and token.kind == "DASH":
+            # "--" undirected shorthand; treated as an outgoing edge.
+            self._advance()
+            return EdgePattern(direction="out")
+        pattern = self._parse_edge_body(direction="out")
+        self._expect("ARROW_RIGHT")
+        return pattern
+
+    def _parse_edge_body(self, direction: str) -> EdgePattern:
+        """Parse ``[name][:label][*min..max]`` between brackets."""
+        if not self._accept("LBRACKET"):
+            raise QuerySyntaxError("expected '[' in edge pattern",
+                                   self._peek().position if self._peek() else None)
+        variable: str | None = None
+        label: str | None = None
+        min_hops, max_hops = 1, 1
+        ident = self._accept("IDENT")
+        if ident is not None:
+            variable = ident.text
+        if self._accept("COLON"):
+            label = self._expect("IDENT").text
+        if self._accept("STAR"):
+            min_hops, max_hops = self._parse_hop_bounds()
+        self._expect("RBRACKET")
+        return EdgePattern(label=label, direction=direction, variable=variable,
+                           min_hops=min_hops, max_hops=max_hops)
+
+    def _parse_hop_bounds(self) -> tuple[int, int]:
+        """Parse the ``*``, ``*n``, ``*n..m``, or ``*..m`` hop-bound forms."""
+        default_max = 8  # matches the variable-length cap used in the paper's queries
+        first = self._accept("NUMBER")
+        if self._accept("DOTDOT"):
+            second = self._accept("NUMBER")
+            low = int(float(first.text)) if first else 1
+            high = int(float(second.text)) if second else default_max
+            return low, high
+        if first is not None:
+            exact = int(float(first.text))
+            return exact, exact
+        return 1, default_max
+
+    # ------------------------------------------------------------- conditions
+    def parse_condition(self) -> Condition:
+        reference = self._parse_ref()
+        operator = self._expect("OP").text
+        value = self._parse_literal()
+        return Condition(ref=reference, operator=operator, value=value)
+
+    def _parse_ref(self) -> PropertyRef:
+        variable = self._expect("IDENT").text
+        if self._accept("DOT"):
+            prop = self._expect("IDENT").text
+            return PropertyRef(variable=variable, property=prop)
+        return PropertyRef(variable=variable)
+
+    def _parse_literal(self) -> Any:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError("expected a literal value")
+        if token.kind == "NUMBER":
+            self._advance()
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "STRING":
+            self._advance()
+            return token.text[1:-1]
+        if token.kind == "IDENT":
+            self._advance()
+            lowered = token.text.lower()
+            if lowered == "true":
+                return True
+            if lowered == "false":
+                return False
+            if lowered == "null":
+                return None
+            return token.text
+        raise QuerySyntaxError(f"expected a literal, found {token.text!r}", token.position)
+
+    # ----------------------------------------------------------------- returns
+    def parse_return_item(self) -> ReturnItem:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError("expected a RETURN item")
+        aggregate: str | None = None
+        if (token.kind == "IDENT" and token.text.lower() in AGGREGATE_FUNCTIONS
+                and self._peek(1) is not None and self._peek(1).kind == "LPAREN"):
+            aggregate = token.text.lower()
+            self._advance()
+            self._expect("LPAREN")
+            reference = self._parse_ref() if not self._accept("STAR") else PropertyRef("*")
+            self._expect("RPAREN")
+        else:
+            reference = self._parse_ref()
+        alias: str | None = None
+        if self._accept("KEYWORD", "AS"):
+            alias = self._expect("IDENT").text
+        return ReturnItem(ref=reference, alias=alias, aggregate=aggregate)
+
+
+def parse_query(text: str, name: str = "") -> GraphQuery:
+    """Parse query text into a :class:`GraphQuery`.
+
+    Args:
+        text: Query text (MATCH / WHERE / RETURN / LIMIT).
+        name: Optional name attached to the resulting query.
+
+    Raises:
+        QuerySyntaxError: On lexical or grammatical errors.
+    """
+    return _Parser(tokenize(text), name=name).parse_query()
+
+
+def parse_pattern(text: str) -> tuple[PathPattern, ...]:
+    """Parse just a comma-separated list of path patterns (no MATCH keyword)."""
+    query = parse_query(f"MATCH {text}")
+    return query.match

@@ -1,0 +1,19 @@
+"""Combinatorial solvers (the Google OR-tools substitute for view selection)."""
+
+from repro.solver.knapsack import (
+    KnapsackItem,
+    KnapsackSolution,
+    solve,
+    solve_branch_and_bound,
+    solve_dynamic_programming,
+    solve_greedy,
+)
+
+__all__ = [
+    "KnapsackItem",
+    "KnapsackSolution",
+    "solve",
+    "solve_branch_and_bound",
+    "solve_dynamic_programming",
+    "solve_greedy",
+]

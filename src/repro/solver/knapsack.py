@@ -1,0 +1,192 @@
+"""0/1 knapsack solvers for view selection.
+
+The paper formulates view selection as a 0-1 knapsack problem (§V-B): items
+are candidate views, weights are estimated view sizes, values are the
+performance improvement per unit of creation cost, and the knapsack capacity
+is the space budget dedicated to materialized views.  The original system uses
+the branch-and-bound solver from Google OR-tools; this module provides an
+equivalent branch-and-bound implementation plus a dynamic-programming exact
+solver (for integer weights) and a greedy heuristic used as the lower bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SelectionError
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """An item with a value, a non-negative weight, and an opaque payload."""
+
+    value: float
+    weight: float
+    payload: object = None
+
+
+@dataclass(frozen=True)
+class KnapsackSolution:
+    """Solution: chosen item indexes plus their total value and weight."""
+
+    chosen: tuple[int, ...]
+    total_value: float
+    total_weight: float
+
+
+def _validate(items: Sequence[KnapsackItem], capacity: float) -> None:
+    if capacity < 0:
+        raise SelectionError(f"knapsack capacity must be >= 0, got {capacity}")
+    for index, item in enumerate(items):
+        if item.weight < 0:
+            raise SelectionError(f"item {index} has negative weight {item.weight}")
+        if item.value < 0:
+            raise SelectionError(f"item {index} has negative value {item.value}")
+
+
+def solve_greedy(items: Sequence[KnapsackItem], capacity: float) -> KnapsackSolution:
+    """Greedy heuristic: take items by descending value density until full.
+
+    Used as the initial incumbent for branch-and-bound; also exposed for the
+    ablation benchmark comparing selection strategies.
+    """
+    _validate(items, capacity)
+    order = sorted(
+        range(len(items)),
+        key=lambda i: (items[i].value / items[i].weight) if items[i].weight > 0 else float("inf"),
+        reverse=True,
+    )
+    chosen: list[int] = []
+    weight = 0.0
+    value = 0.0
+    for index in order:
+        item = items[index]
+        if weight + item.weight <= capacity:
+            chosen.append(index)
+            weight += item.weight
+            value += item.value
+    return KnapsackSolution(chosen=tuple(sorted(chosen)), total_value=value, total_weight=weight)
+
+
+def solve_dynamic_programming(items: Sequence[KnapsackItem],
+                              capacity: float) -> KnapsackSolution:
+    """Exact DP solver; requires integer (or integer-rounded) weights.
+
+    Weights and the capacity are floored to integers; intended for small
+    instances and for validating the branch-and-bound solver in tests.
+    """
+    _validate(items, capacity)
+    cap = int(capacity)
+    weights = [int(item.weight) for item in items]
+    values = [item.value for item in items]
+    # table[w] = (best value, chosen bitmask as frozenset) for capacity w
+    best_value = [0.0] * (cap + 1)
+    best_set: list[frozenset[int]] = [frozenset()] * (cap + 1)
+    for index, (weight, value) in enumerate(zip(weights, values)):
+        for w in range(cap, weight - 1, -1):
+            candidate = best_value[w - weight] + value
+            if candidate > best_value[w]:
+                best_value[w] = candidate
+                best_set[w] = best_set[w - weight] | {index}
+    chosen = tuple(sorted(best_set[cap]))
+    total_weight = sum(items[i].weight for i in chosen)
+    return KnapsackSolution(chosen=chosen, total_value=best_value[cap],
+                            total_weight=total_weight)
+
+
+def solve_branch_and_bound(items: Sequence[KnapsackItem],
+                           capacity: float) -> KnapsackSolution:
+    """Exact best-first branch-and-bound solver (the OR-tools substitute).
+
+    Uses the fractional-knapsack relaxation as the upper bound and the greedy
+    solution as the initial incumbent.
+    """
+    _validate(items, capacity)
+    if not items:
+        return KnapsackSolution(chosen=(), total_value=0.0, total_weight=0.0)
+
+    order = sorted(
+        range(len(items)),
+        key=lambda i: (items[i].value / items[i].weight) if items[i].weight > 0 else float("inf"),
+        reverse=True,
+    )
+
+    def upper_bound(position: int, value: float, weight: float) -> float:
+        """Fractional relaxation over the remaining items (in density order)."""
+        bound = value
+        remaining = capacity - weight
+        for index in order[position:]:
+            item = items[index]
+            if item.weight <= remaining:
+                remaining -= item.weight
+                bound += item.value
+            else:
+                if item.weight > 0:
+                    bound += item.value * (remaining / item.weight)
+                break
+        return bound
+
+    incumbent = solve_greedy(items, capacity)
+    best_value = incumbent.total_value
+    best_chosen = set(incumbent.chosen)
+
+    # Best-first search over (position, taken set).  Entries are keyed by the
+    # negative upper bound so that the most promising node is expanded first.
+    counter = 0
+    heap: list[tuple[float, int, int, float, float, frozenset[int]]] = []
+    heapq.heappush(heap, (-upper_bound(0, 0.0, 0.0), counter, 0, 0.0, 0.0, frozenset()))
+    while heap:
+        negative_bound, _, position, value, weight, taken = heapq.heappop(heap)
+        if -negative_bound <= best_value + 1e-12:
+            continue  # cannot improve on the incumbent
+        if position == len(order):
+            if value > best_value:
+                best_value = value
+                best_chosen = set(taken)
+            continue
+        index = order[position]
+        item = items[index]
+        # Branch 1: take the item (if it fits).
+        if weight + item.weight <= capacity:
+            new_value = value + item.value
+            new_weight = weight + item.weight
+            if new_value > best_value:
+                best_value = new_value
+                best_chosen = set(taken | {index})
+            bound = upper_bound(position + 1, new_value, new_weight)
+            if bound > best_value:
+                counter += 1
+                heapq.heappush(heap, (-bound, counter, position + 1, new_value,
+                                      new_weight, taken | {index}))
+        # Branch 2: skip the item.
+        bound = upper_bound(position + 1, value, weight)
+        if bound > best_value:
+            counter += 1
+            heapq.heappush(heap, (-bound, counter, position + 1, value, weight, taken))
+
+    total_weight = sum(items[i].weight for i in best_chosen)
+    return KnapsackSolution(chosen=tuple(sorted(best_chosen)), total_value=best_value,
+                            total_weight=total_weight)
+
+
+def solve(items: Sequence[KnapsackItem], capacity: float,
+          method: str = "branch_and_bound") -> KnapsackSolution:
+    """Solve a 0/1 knapsack with the requested method.
+
+    Args:
+        items: Items to choose from.
+        capacity: Knapsack capacity (same unit as the item weights).
+        method: ``"branch_and_bound"`` (default), ``"dynamic_programming"``,
+            or ``"greedy"``.
+    """
+    solvers = {
+        "branch_and_bound": solve_branch_and_bound,
+        "dynamic_programming": solve_dynamic_programming,
+        "greedy": solve_greedy,
+    }
+    solver = solvers.get(method)
+    if solver is None:
+        raise SelectionError(f"unknown knapsack method {method!r}")
+    return solver(items, capacity)

@@ -1,0 +1,49 @@
+"""Graph views: connectors, summarizers, catalog, and maintenance.
+
+Connectors contract paths between target vertices into single edges;
+summarizers filter or aggregate vertices and edges (§III-C, §VI).  The
+:class:`ViewCatalog` tracks materialized views for use in view-based query
+rewriting, and :class:`ConnectorMaintainer` keeps connector views consistent
+under base-graph updates.
+"""
+
+from repro.views.definitions import (
+    CONNECTOR_KINDS,
+    SUMMARIZER_KINDS,
+    ConnectorView,
+    SummarizerView,
+    ViewDefinition,
+    author_to_author_connector,
+    job_to_job_connector,
+    keep_types_summarizer,
+    vertex_to_vertex_connector,
+)
+from repro.views.connectors import (
+    count_connector_edges,
+    count_connector_paths,
+    materialize_connector,
+)
+from repro.views.summarizers import materialize_summarizer, summarizer_reduction
+from repro.views.catalog import MaterializedView, ViewCatalog
+from repro.views.maintenance import ConnectorMaintainer, MaintenanceReport
+
+__all__ = [
+    "CONNECTOR_KINDS",
+    "ConnectorMaintainer",
+    "ConnectorView",
+    "MaintenanceReport",
+    "MaterializedView",
+    "SUMMARIZER_KINDS",
+    "SummarizerView",
+    "ViewCatalog",
+    "ViewDefinition",
+    "author_to_author_connector",
+    "count_connector_edges",
+    "count_connector_paths",
+    "job_to_job_connector",
+    "keep_types_summarizer",
+    "materialize_connector",
+    "materialize_summarizer",
+    "summarizer_reduction",
+    "vertex_to_vertex_connector",
+]

@@ -1,0 +1,188 @@
+"""Connector view materialization.
+
+A connector of a graph G is a graph G' in which every edge contracts a single
+directed path between two *target vertices* of G, and V(G') is the union of
+those target vertices (§VI-A).  This module materializes the connector
+flavours of Table I against a :class:`~repro.graph.PropertyGraph` by
+enumerating the qualifying paths and contracting them with
+:func:`repro.graph.transform.contract_paths`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ViewError
+from repro.graph.property_graph import PropertyGraph, Vertex, VertexId
+from repro.graph.transform import contract_paths, enumerate_k_hop_paths
+from repro.views.definitions import ConnectorView
+
+
+def materialize_connector(graph: PropertyGraph, view: ConnectorView,
+                          max_paths: int | None = None) -> PropertyGraph:
+    """Materialize a connector view over ``graph``.
+
+    Args:
+        graph: The base graph (typically already summarized, as in §VII-F).
+        view: Connector specification.
+        max_paths: Optional cap on the number of contracted paths, protecting
+            against the exponential path counts of dense homogeneous graphs
+            (the situation Fig. 5 warns about).
+
+    Returns:
+        The connector graph; contracted edges carry the view's ``output_label``
+        plus ``hops`` and ``path_count`` properties.
+
+    Raises:
+        ViewError: If the view kind is not a connector kind.
+    """
+    kind = view.connector_kind
+    if kind in ("k_hop", "k_hop_same_vertex_type"):
+        paths = _k_hop_paths(graph, view, max_paths)
+    elif kind == "same_vertex_type":
+        paths = _same_type_paths(graph, view, max_paths)
+    elif kind == "same_edge_type":
+        paths = _same_edge_type_paths(graph, view, max_paths)
+    elif kind == "source_to_sink":
+        paths = _source_to_sink_paths(graph, view, max_paths)
+    else:  # pragma: no cover - guarded by ConnectorView validation
+        raise ViewError(f"unsupported connector kind {kind!r}")
+    connector = contract_paths(graph, paths, view.output_label,
+                               name=f"{graph.name}|{view.name}")
+    return connector
+
+
+# ----------------------------------------------------------------- path logic
+def _type_predicate(vertex_type: str | None) -> Callable[[Vertex], bool] | None:
+    if vertex_type is None:
+        return None
+    return lambda vertex: vertex.type == vertex_type
+
+
+def _k_hop_paths(graph: PropertyGraph, view: ConnectorView,
+                 max_paths: int | None) -> list[tuple[VertexId, ...]]:
+    """Paths for k-hop connectors: exactly k hops between the target types."""
+    assert view.k is not None
+    labels = [view.edge_label] if view.edge_label else None
+    return enumerate_k_hop_paths(
+        graph,
+        view.k,
+        source_predicate=_type_predicate(view.source_type),
+        target_predicate=_type_predicate(view.target_type or view.source_type),
+        edge_labels=labels,
+        simple=True,
+        allow_closing=True,
+        max_paths=max_paths,
+    )
+
+
+def _same_type_paths(graph: PropertyGraph, view: ConnectorView,
+                     max_paths: int | None) -> list[tuple[VertexId, ...]]:
+    """Paths for the variable-length same-vertex-type connector.
+
+    A path qualifies when both endpoints have the target type and no
+    *intermediate* vertex has it — i.e. the path is a minimal hop between two
+    target vertices, which is exactly what a contraction should collapse.
+    """
+    target_type = view.source_type
+    assert target_type is not None
+    results: list[tuple[VertexId, ...]] = []
+    for start in graph.vertices(target_type):
+        stack: list[tuple[VertexId, ...]] = [(start.id,)]
+        while stack:
+            path = stack.pop()
+            if len(path) - 1 >= view.max_hops:
+                continue
+            for edge in graph.out_edges(path[-1]):
+                if edge.target in path:
+                    continue
+                target_vertex = graph.vertex(edge.target)
+                extended = path + (edge.target,)
+                if target_vertex.type == target_type:
+                    results.append(extended)
+                    if max_paths is not None and len(results) >= max_paths:
+                        return results
+                    # Do not extend past another target vertex: contraction is
+                    # between *adjacent* target vertices.
+                    continue
+                stack.append(extended)
+    return results
+
+
+def _same_edge_type_paths(graph: PropertyGraph, view: ConnectorView,
+                          max_paths: int | None) -> list[tuple[VertexId, ...]]:
+    """Paths for the same-edge-type connector: maximal runs of one edge label."""
+    if view.edge_label is None:
+        raise ViewError("same_edge_type connector requires edge_label")
+    results: list[tuple[VertexId, ...]] = []
+    label = view.edge_label
+    for start in graph.vertices(view.source_type):
+        stack: list[tuple[VertexId, ...]] = [(start.id,)]
+        while stack:
+            path = stack.pop()
+            if len(path) - 1 >= view.max_hops:
+                continue
+            for edge in graph.out_edges(path[-1], label):
+                if edge.target in path:
+                    continue
+                extended = path + (edge.target,)
+                if len(extended) >= 2:
+                    results.append(extended)
+                    if max_paths is not None and len(results) >= max_paths:
+                        return results
+                stack.append(extended)
+    return results
+
+
+def _source_to_sink_paths(graph: PropertyGraph, view: ConnectorView,
+                          max_paths: int | None) -> list[tuple[VertexId, ...]]:
+    """Paths for the source-to-sink connector: graph sources to graph sinks."""
+    sinks = set(graph.sinks())
+    results: list[tuple[VertexId, ...]] = []
+    for source_id in graph.sources():
+        stack: list[tuple[VertexId, ...]] = [(source_id,)]
+        while stack:
+            path = stack.pop()
+            if path[-1] in sinks and len(path) >= 2:
+                results.append(path)
+                if max_paths is not None and len(results) >= max_paths:
+                    return results
+                continue
+            if len(path) - 1 >= view.max_hops:
+                continue
+            for edge in graph.out_edges(path[-1]):
+                if edge.target in path:
+                    continue
+                stack.append(path + (edge.target,))
+    return results
+
+
+def count_connector_edges(graph: PropertyGraph, view: ConnectorView,
+                          max_paths: int | None = None) -> int:
+    """Number of edges the connector would have when materialized.
+
+    This is the ground truth that Fig. 5 compares the size estimators against.
+    The count deduplicates by (source, target) endpoint pair, matching the
+    ``deduplicate=True`` materialization in :func:`materialize_connector`.
+    """
+    if view.connector_kind in ("k_hop", "k_hop_same_vertex_type"):
+        paths = _k_hop_paths(graph, view, max_paths)
+    elif view.connector_kind == "same_vertex_type":
+        paths = _same_type_paths(graph, view, max_paths)
+    elif view.connector_kind == "same_edge_type":
+        paths = _same_edge_type_paths(graph, view, max_paths)
+    else:
+        paths = _source_to_sink_paths(graph, view, max_paths)
+    return len({(p[0], p[-1]) for p in paths})
+
+
+def count_connector_paths(graph: PropertyGraph, view: ConnectorView,
+                          max_paths: int | None = None) -> int:
+    """Number of *paths* the connector contracts (before endpoint deduplication)."""
+    if view.connector_kind in ("k_hop", "k_hop_same_vertex_type"):
+        return len(_k_hop_paths(graph, view, max_paths))
+    if view.connector_kind == "same_vertex_type":
+        return len(_same_type_paths(graph, view, max_paths))
+    if view.connector_kind == "same_edge_type":
+        return len(_same_edge_type_paths(graph, view, max_paths))
+    return len(_source_to_sink_paths(graph, view, max_paths))

@@ -1,0 +1,261 @@
+"""Graph view definitions.
+
+A *graph view* over a graph G is a graph query whose result is itself a graph
+(§III-C).  Kaskade identifies two view classes sufficient for its use cases:
+
+* **Connectors** (§VI-A, Table I): each edge of the view contracts a directed
+  path between two *target vertices* of the original graph.  Specializations
+  differ in how target vertices are chosen — same-vertex-type, k-hop,
+  same-edge-type, and source-to-sink connectors.
+* **Summarizers** (§VI-B, Table II): the view keeps a subset of the original
+  vertices/edges (inclusion/removal filters) or groups them into super
+  vertices/edges (aggregators).
+
+These dataclasses are *declarative specifications*; materialization lives in
+:mod:`repro.views.connectors` and :mod:`repro.views.summarizers`.  Each
+definition exposes a stable :meth:`~ViewDefinition.signature` used as the key
+in the view catalog, and a Cypher-ish description used for reporting (the role
+the Prolog→Cypher translation plays in §V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ViewError
+
+#: Connector flavours (Table I).
+CONNECTOR_KINDS = (
+    "k_hop",
+    "same_vertex_type",
+    "k_hop_same_vertex_type",
+    "same_edge_type",
+    "source_to_sink",
+)
+
+#: Summarizer flavours (Table II).
+SUMMARIZER_KINDS = (
+    "vertex_removal",
+    "edge_removal",
+    "vertex_inclusion",
+    "edge_inclusion",
+    "vertex_aggregator",
+    "edge_aggregator",
+    "subgraph_aggregator",
+)
+
+
+@dataclass(frozen=True)
+class ViewDefinition:
+    """Base class for view specifications."""
+
+    name: str
+
+    @property
+    def kind(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def signature(self) -> tuple:
+        """A hashable identity used to deduplicate and look up views."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConnectorView(ViewDefinition):
+    """A connector view specification.
+
+    Attributes:
+        name: View name (e.g. ``"job_to_job_2hop"``).
+        connector_kind: One of :data:`CONNECTOR_KINDS`.
+        source_type: Vertex type of path sources (None = any).
+        target_type: Vertex type of path targets (None = any).
+        k: Exact number of hops contracted per edge (None = variable length).
+        max_hops: Bound on path length for variable-length connectors.
+        edge_label: Restriction on which edge labels paths may traverse
+            (used by the same-edge-type connector).
+        output_label: Label given to the contracted edges in the view.
+    """
+
+    connector_kind: str = "k_hop"
+    source_type: str | None = None
+    target_type: str | None = None
+    k: int | None = None
+    max_hops: int = 8
+    edge_label: str | None = None
+    output_label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.connector_kind not in CONNECTOR_KINDS:
+            raise ViewError(f"unknown connector kind {self.connector_kind!r}")
+        if self.connector_kind in ("k_hop", "k_hop_same_vertex_type") and self.k is None:
+            raise ViewError(f"{self.connector_kind} connector requires k")
+        if self.k is not None and self.k < 1:
+            raise ViewError(f"k must be >= 1, got {self.k}")
+        if self.connector_kind in ("same_vertex_type", "k_hop_same_vertex_type"):
+            if self.source_type is None:
+                raise ViewError(f"{self.connector_kind} connector requires a vertex type")
+        if not self.output_label:
+            object.__setattr__(self, "output_label", self._default_output_label())
+
+    def _default_output_label(self) -> str:
+        source = self.source_type or "ANY"
+        target = self.target_type or self.source_type or "ANY"
+        hops = f"{self.k}_HOP" if self.k is not None else "PATH"
+        return f"{hops}-{source.upper()}_TO_{target.upper()}"
+
+    @property
+    def kind(self) -> str:
+        return "connector"
+
+    def signature(self) -> tuple:
+        return (
+            "connector",
+            self.connector_kind,
+            self.source_type,
+            self.target_type,
+            self.k,
+            self.max_hops,
+            self.edge_label,
+        )
+
+    def describe(self) -> str:
+        if self.connector_kind == "source_to_sink":
+            return f"connector[{self.name}]: source-to-sink paths (<= {self.max_hops} hops)"
+        source = self.source_type or "*"
+        target = self.target_type or self.source_type or "*"
+        hops = f"{self.k}-hop" if self.k is not None else f"<= {self.max_hops}-hop"
+        label = f" via :{self.edge_label}" if self.edge_label else ""
+        return f"connector[{self.name}]: {hops} paths {source} -> {target}{label}"
+
+    def to_cypher(self) -> str:
+        """The Cypher-style pattern this view materializes (for reports/logs)."""
+        source = f":{self.source_type}" if self.source_type else ""
+        target_type = self.target_type or self.source_type
+        target = f":{target_type}" if target_type else ""
+        label = f":{self.edge_label}" if self.edge_label else ""
+        if self.k is not None:
+            hops = f"*{self.k}" if self.k > 1 else ""
+        else:
+            hops = f"*1..{self.max_hops}"
+        return (
+            f"MATCH (src{source})-[{label}{hops}]->(dst{target}) "
+            f"MERGE (src)-[:{self.output_label}]->(dst)"
+        )
+
+
+# Property predicates for summarizers are (property name, operator, value)
+# triples; an empty tuple means "no property restriction".
+PropertyPredicate = tuple[str, str, Any]
+
+
+@dataclass(frozen=True)
+class SummarizerView(ViewDefinition):
+    """A summarizer view specification.
+
+    Attributes:
+        name: View name (e.g. ``"jobs_and_files_only"``).
+        summarizer_kind: One of :data:`SUMMARIZER_KINDS`.
+        vertex_types: Vertex types the filter keeps or removes (per kind).
+        edge_labels: Edge labels the filter keeps or removes (per kind).
+        property_predicates: Extra property predicates on vertices
+            (footnote 5 in the paper: predicates further reduce view size).
+        group_by: For aggregators, the vertex property (or ``"type"``) whose
+            value identifies the group/super-vertex.
+        aggregations: For aggregators, mapping ``property -> aggregate name``
+            (``sum``, ``avg``, ``min``, ``max``, ``count``).
+    """
+
+    summarizer_kind: str = "vertex_inclusion"
+    vertex_types: tuple[str, ...] = ()
+    edge_labels: tuple[str, ...] = ()
+    property_predicates: tuple[PropertyPredicate, ...] = ()
+    group_by: str | None = None
+    aggregations: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.summarizer_kind not in SUMMARIZER_KINDS:
+            raise ViewError(f"unknown summarizer kind {self.summarizer_kind!r}")
+        filter_kinds = ("vertex_removal", "vertex_inclusion")
+        if self.summarizer_kind in filter_kinds and not (
+            self.vertex_types or self.property_predicates
+        ):
+            raise ViewError(f"{self.summarizer_kind} summarizer needs vertex types or predicates")
+        if self.summarizer_kind in ("edge_removal", "edge_inclusion") and not self.edge_labels:
+            raise ViewError(f"{self.summarizer_kind} summarizer needs edge labels")
+        if self.summarizer_kind.endswith("aggregator") and self.group_by is None:
+            raise ViewError(f"{self.summarizer_kind} summarizer needs a group_by key")
+
+    @property
+    def kind(self) -> str:
+        return "summarizer"
+
+    def signature(self) -> tuple:
+        return (
+            "summarizer",
+            self.summarizer_kind,
+            self.vertex_types,
+            self.edge_labels,
+            self.property_predicates,
+            self.group_by,
+            self.aggregations,
+        )
+
+    def describe(self) -> str:
+        if self.summarizer_kind in ("vertex_inclusion", "vertex_removal"):
+            action = "keep" if self.summarizer_kind == "vertex_inclusion" else "remove"
+            return f"summarizer[{self.name}]: {action} vertex types {list(self.vertex_types)}"
+        if self.summarizer_kind in ("edge_inclusion", "edge_removal"):
+            action = "keep" if self.summarizer_kind == "edge_inclusion" else "remove"
+            return f"summarizer[{self.name}]: {action} edge labels {list(self.edge_labels)}"
+        return (
+            f"summarizer[{self.name}]: {self.summarizer_kind} grouped by {self.group_by!r} "
+            f"aggregating {dict(self.aggregations)}"
+        )
+
+
+def job_to_job_connector(k: int = 2, name: str | None = None) -> ConnectorView:
+    """The paper's canonical job-to-job k-hop connector (Fig. 3c, Listing 4)."""
+    return ConnectorView(
+        name=name or f"job_to_job_{k}hop",
+        connector_kind="k_hop_same_vertex_type",
+        source_type="Job",
+        target_type="Job",
+        k=k,
+    )
+
+
+def author_to_author_connector(k: int = 2, name: str | None = None) -> ConnectorView:
+    """The author-to-author connector used for the dblp experiments (§VII-F)."""
+    return ConnectorView(
+        name=name or f"author_to_author_{k}hop",
+        connector_kind="k_hop_same_vertex_type",
+        source_type="Author",
+        target_type="Author",
+        k=k,
+    )
+
+
+def vertex_to_vertex_connector(vertex_type: str = "Vertex", k: int = 2,
+                               name: str | None = None) -> ConnectorView:
+    """The vertex-to-vertex connector used for homogeneous networks (§VII-F)."""
+    return ConnectorView(
+        name=name or f"vertex_to_vertex_{k}hop",
+        connector_kind="k_hop_same_vertex_type",
+        source_type=vertex_type,
+        target_type=vertex_type,
+        k=k,
+    )
+
+
+def keep_types_summarizer(types: Sequence[str], name: str | None = None) -> SummarizerView:
+    """Schema-level summarizer keeping only the given vertex types (Fig. 6's "filter")."""
+    return SummarizerView(
+        name=name or "keep_" + "_".join(t.lower() for t in types),
+        summarizer_kind="vertex_inclusion",
+        vertex_types=tuple(types),
+    )

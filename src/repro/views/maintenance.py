@@ -1,0 +1,162 @@
+"""Incremental maintenance of materialized connector views.
+
+The notion of graph views and algorithms for their incremental maintenance
+goes back to Zhuge and Garcia-Molina (§VIII, [23]).  The paper materializes
+views once per workload; this module adds the natural incremental-maintenance
+counterpart so that a materialized k-hop connector stays consistent when edges
+are inserted into (or removed from) the base graph, without recomputing the
+whole view.
+
+Only connector views are maintained incrementally — summarizers are cheap to
+recompute and their maintenance is a straightforward filter over the delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.property_graph import PropertyGraph, VertexId
+from repro.views.catalog import MaterializedView
+from repro.views.definitions import ConnectorView
+
+
+@dataclass
+class MaintenanceReport:
+    """Summary of one incremental maintenance step."""
+
+    added_edges: int = 0
+    removed_edges: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.added_edges or self.removed_edges)
+
+
+class ConnectorMaintainer:
+    """Keeps a materialized k-hop connector view in sync with its base graph."""
+
+    def __init__(self, base_graph: PropertyGraph, view: MaterializedView) -> None:
+        definition = view.definition
+        if not isinstance(definition, ConnectorView) or definition.k is None:
+            raise ValueError("ConnectorMaintainer only supports k-hop connector views")
+        self.base_graph = base_graph
+        self.view = view
+        self.definition: ConnectorView = definition
+
+    # ------------------------------------------------------------------ insert
+    def on_edge_added(self, source: VertexId, target: VertexId) -> MaintenanceReport:
+        """Update the view after ``source -> target`` was added to the base graph.
+
+        New k-hop paths through the new edge are found by combining backward
+        paths ending at ``source`` with forward paths starting at ``target``.
+        """
+        report = MaintenanceReport()
+        k = self.definition.k
+        assert k is not None
+        source_type = self.definition.source_type
+        target_type = self.definition.target_type or source_type
+
+        backward = self._paths_ending_at(source, k - 1)
+        forward = self._paths_starting_at(target, k - 1)
+        for prefix in backward:
+            for suffix in forward:
+                if len(prefix) + len(suffix) != k + 1:
+                    # prefix has p edges, suffix has s edges, p + s + 1 == k
+                    continue
+                path = prefix + suffix
+                is_closed = path[0] == path[-1]
+                distinct = len(set(path))
+                # Accept simple paths, plus closed paths whose only repetition is
+                # the shared endpoint (mirrors allow_closing in materialization).
+                if distinct != len(path) and not (is_closed and distinct == len(path) - 1):
+                    continue
+                start_vertex = self.base_graph.vertex(path[0])
+                end_vertex = self.base_graph.vertex(path[-1])
+                if source_type is not None and start_vertex.type != source_type:
+                    continue
+                if target_type is not None and end_vertex.type != target_type:
+                    continue
+                report.added_edges += self._add_view_edge(path[0], path[-1], k)
+        return report
+
+    def _paths_ending_at(self, vertex_id: VertexId, max_edges: int) -> list[tuple[VertexId, ...]]:
+        """All simple paths with 0..max_edges edges that end at ``vertex_id``
+        (returned including the endpoint, ordered source..vertex_id)."""
+        results: list[tuple[VertexId, ...]] = [(vertex_id,)]
+        frontier: list[tuple[VertexId, ...]] = [(vertex_id,)]
+        for _ in range(max_edges):
+            next_frontier: list[tuple[VertexId, ...]] = []
+            for path in frontier:
+                for edge in self.base_graph.in_edges(path[0]):
+                    if edge.source in path:
+                        continue
+                    extended = (edge.source,) + path
+                    next_frontier.append(extended)
+                    results.append(extended)
+            frontier = next_frontier
+        return results
+
+    def _paths_starting_at(self, vertex_id: VertexId, max_edges: int) -> list[tuple[VertexId, ...]]:
+        """All simple paths with 0..max_edges edges that start at ``vertex_id``."""
+        results: list[tuple[VertexId, ...]] = [(vertex_id,)]
+        frontier: list[tuple[VertexId, ...]] = [(vertex_id,)]
+        for _ in range(max_edges):
+            next_frontier: list[tuple[VertexId, ...]] = []
+            for path in frontier:
+                for edge in self.base_graph.out_edges(path[-1]):
+                    if edge.target in path:
+                        continue
+                    extended = path + (edge.target,)
+                    next_frontier.append(extended)
+                    results.append(extended)
+            frontier = next_frontier
+        return results
+
+    def _add_view_edge(self, source: VertexId, target: VertexId, hops: int) -> int:
+        """Add (or bump the path count of) a contracted edge in the view graph."""
+        view_graph = self.view.graph
+        for endpoint in (source, target):
+            if not view_graph.has_vertex(endpoint):
+                vertex = self.base_graph.vertex(endpoint)
+                view_graph.add_vertex(vertex.id, vertex.type, **vertex.properties)
+        for edge in view_graph.out_edges(source, self.definition.output_label):
+            if edge.target == target:
+                edge.properties["path_count"] = edge.get("path_count", 1) + 1
+                return 0
+        view_graph.add_edge(source, target, self.definition.output_label,
+                            path_count=1, hops=hops)
+        return 1
+
+    # ------------------------------------------------------------------ delete
+    def on_edge_removed(self, source: VertexId, target: VertexId) -> MaintenanceReport:
+        """Update the view after ``source -> target`` was removed from the base graph.
+
+        Every contracted edge whose endpoints can no longer reach each other
+        within exactly k hops is dropped; others have their path counts
+        recomputed lazily (count maintenance is not required for correctness
+        of rewrites, only the edge set is).
+        """
+        report = MaintenanceReport()
+        k = self.definition.k
+        assert k is not None
+        view_graph = self.view.graph
+        stale: list[int] = []
+        for edge in view_graph.edges(self.definition.output_label):
+            if not self._k_hop_path_exists(edge.source, edge.target, k):
+                stale.append(edge.id)
+        for edge_id in stale:
+            view_graph.remove_edge(edge_id)
+            report.removed_edges += 1
+        return report
+
+    def _k_hop_path_exists(self, source: VertexId, target: VertexId, k: int) -> bool:
+        frontier = {source}
+        for _ in range(k):
+            next_frontier: set[VertexId] = set()
+            for vertex_id in frontier:
+                for edge in self.base_graph.out_edges(vertex_id):
+                    next_frontier.add(edge.target)
+            frontier = next_frontier
+            if not frontier:
+                return False
+        return target in frontier

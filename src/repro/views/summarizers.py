@@ -1,0 +1,180 @@
+"""Summarizer view materialization.
+
+A summarizer of G = (V, E) is a graph G' with V(G') ⊆ V(G), E(G') ⊆ E(G), and
+strictly fewer vertices or edges (§VI-B).  Kaskade's summarizers are inclusion
+and removal filters over vertex/edge types (optionally with property
+predicates) and aggregators that group vertices/edges/subgraphs into super
+vertices/edges (Table II).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+from repro.errors import ViewError
+from repro.graph.property_graph import Edge, PropertyGraph, Vertex
+from repro.graph.transform import filter_graph, group_vertices
+from repro.query.aggregates import AGGREGATES
+from repro.views.definitions import PropertyPredicate, SummarizerView
+
+
+def _evaluate_predicate(value: Any, operator: str, expected: Any) -> bool:
+    """Evaluate a single property predicate (None values never match)."""
+    if value is None:
+        return False
+    comparisons: dict[str, Callable[[Any, Any], bool]] = {
+        "=": lambda a, b: a == b,
+        "<>": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+    comparison = comparisons.get(operator)
+    if comparison is None:
+        raise ViewError(f"unsupported property predicate operator {operator!r}")
+    return comparison(value, expected)
+
+
+def _vertex_satisfies(vertex: Vertex, predicates: tuple[PropertyPredicate, ...]) -> bool:
+    return all(
+        _evaluate_predicate(vertex.get(prop), operator, expected)
+        for prop, operator, expected in predicates
+    )
+
+
+def materialize_summarizer(graph: PropertyGraph, view: SummarizerView) -> PropertyGraph:
+    """Materialize a summarizer view over ``graph``.
+
+    Raises:
+        ViewError: If the summarizer kind is unknown (guarded upstream) or the
+            aggregation functions are invalid.
+    """
+    kind = view.summarizer_kind
+    if kind == "vertex_inclusion":
+        return _filter_vertices(graph, view, keep=True)
+    if kind == "vertex_removal":
+        return _filter_vertices(graph, view, keep=False)
+    if kind == "edge_inclusion":
+        return _filter_edges(graph, view, keep=True)
+    if kind == "edge_removal":
+        return _filter_edges(graph, view, keep=False)
+    if kind in ("vertex_aggregator", "subgraph_aggregator"):
+        return _aggregate_vertices(graph, view)
+    if kind == "edge_aggregator":
+        return _aggregate_edges(graph, view)
+    raise ViewError(f"unsupported summarizer kind {kind!r}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------- filtering
+def _filter_vertices(graph: PropertyGraph, view: SummarizerView, keep: bool) -> PropertyGraph:
+    types = set(view.vertex_types)
+
+    def predicate(vertex: Vertex) -> bool:
+        in_types = (not types) or (vertex.type in types)
+        satisfies = _vertex_satisfies(vertex, view.property_predicates)
+        selected = in_types and satisfies
+        return selected if keep else not selected
+
+    return filter_graph(graph, vertex_predicate=predicate,
+                        name=f"{graph.name}|{view.name}")
+
+
+def _filter_edges(graph: PropertyGraph, view: SummarizerView, keep: bool) -> PropertyGraph:
+    labels = set(view.edge_labels)
+
+    def predicate(edge: Edge) -> bool:
+        selected = edge.label in labels
+        return selected if keep else not selected
+
+    return filter_graph(graph, edge_predicate=predicate,
+                        name=f"{graph.name}|{view.name}")
+
+
+# --------------------------------------------------------------- aggregation
+def _resolve_aggregations(view: SummarizerView) -> dict[str, Callable[[list[Any]], Any]]:
+    aggregators: dict[str, Callable[[list[Any]], Any]] = {}
+    for prop, aggregate_name in view.aggregations:
+        function = AGGREGATES.get(aggregate_name)
+        if function is None:
+            raise ViewError(f"unsupported aggregate function {aggregate_name!r}")
+        aggregators[prop] = function
+    return aggregators
+
+
+def _group_key(view: SummarizerView) -> Callable[[Vertex], Hashable | None]:
+    group_by = view.group_by
+    restrict_types = set(view.vertex_types)
+
+    def key(vertex: Vertex) -> Hashable | None:
+        if restrict_types and vertex.type not in restrict_types:
+            return None
+        if group_by == "type":
+            return vertex.type
+        value = vertex.get(group_by)
+        return value if value is not None else None
+
+    return key
+
+
+def _aggregate_vertices(graph: PropertyGraph, view: SummarizerView) -> PropertyGraph:
+    """Vertex/subgraph aggregator: group vertices by a property (or type)."""
+    return group_vertices(
+        graph,
+        key=_group_key(view),
+        supervertex_type=f"{view.name}_group",
+        aggregators=_resolve_aggregations(view),
+        name=f"{graph.name}|{view.name}",
+    )
+
+
+def _aggregate_edges(graph: PropertyGraph, view: SummarizerView) -> PropertyGraph:
+    """Edge aggregator: merge parallel edges between the same endpoints.
+
+    Edges whose label is listed in ``view.edge_labels`` (or all edges when the
+    list is empty) are grouped by (source, target, label); each group becomes a
+    single super-edge whose properties are aggregated with the view's
+    aggregation functions plus an ``edge_count``.
+    """
+    labels = set(view.edge_labels)
+    aggregators = _resolve_aggregations(view)
+    result = PropertyGraph(name=f"{graph.name}|{view.name}", schema=graph.schema)
+    for vertex in graph.vertices():
+        result.add_vertex(vertex.id, vertex.type, **vertex.properties)
+
+    grouped: dict[tuple[Any, Any, str], list[Edge]] = {}
+    for edge in graph.edges():
+        if labels and edge.label not in labels:
+            result.add_edge(edge.source, edge.target, edge.label, **edge.properties)
+            continue
+        grouped.setdefault((edge.source, edge.target, edge.label), []).append(edge)
+
+    for (source, target, label), members in grouped.items():
+        properties: dict[str, Any] = {"edge_count": len(members)}
+        for prop, function in aggregators.items():
+            values = [m.properties[prop] for m in members if prop in m.properties]
+            if values:
+                properties[prop] = function(values)
+        result.add_edge(source, target, label, **properties)
+    return result
+
+
+def summarizer_reduction(graph: PropertyGraph, view: SummarizerView) -> dict[str, float]:
+    """Vertex/edge reduction factors achieved by a summarizer (used in Fig. 6).
+
+    Returns a dict with the original and summarized sizes plus reduction
+    ratios (original / summarized; ``inf`` when the summarized count is 0).
+    """
+    summarized = materialize_summarizer(graph, view)
+    vertex_ratio = (graph.num_vertices / summarized.num_vertices
+                    if summarized.num_vertices else float("inf"))
+    edge_ratio = (graph.num_edges / summarized.num_edges
+                  if summarized.num_edges else float("inf"))
+    return {
+        "original_vertices": graph.num_vertices,
+        "original_edges": graph.num_edges,
+        "summarized_vertices": summarized.num_vertices,
+        "summarized_edges": summarized.num_edges,
+        "vertex_reduction": vertex_ratio,
+        "edge_reduction": edge_ratio,
+    }

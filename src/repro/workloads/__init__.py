@@ -1,0 +1,33 @@
+"""The evaluation query workload (Table IV) and its runner."""
+
+from repro.workloads.queries import (
+    BLAST_RADIUS_HOPS,
+    LABEL_PROPAGATION_PASSES,
+    LINEAGE_HOPS,
+    WorkloadQuery,
+    build_workload,
+    workload_for_dataset,
+)
+from repro.workloads.runner import (
+    PreparedDataset,
+    QueryRuntime,
+    WorkloadRunResult,
+    prepare_dataset,
+    run_query,
+    run_workload,
+)
+
+__all__ = [
+    "BLAST_RADIUS_HOPS",
+    "LABEL_PROPAGATION_PASSES",
+    "LINEAGE_HOPS",
+    "PreparedDataset",
+    "QueryRuntime",
+    "WorkloadRunResult",
+    "WorkloadQuery",
+    "build_workload",
+    "prepare_dataset",
+    "run_query",
+    "run_workload",
+    "workload_for_dataset",
+]

@@ -1,0 +1,166 @@
+"""Workload runner: evaluates Q1–Q8 over base graphs and connector views.
+
+The Fig. 7 experiment measures total query runtime over the filtered graph vs
+an equivalent 2-hop connector view (heterogeneous datasets), or the raw graph
+vs the connector (homogeneous datasets).  The runner prepares both graphs for
+a dataset, runs every workload query in both modes, and reports wall-clock
+time, a machine-independent work proxy (result size), and the speedup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.datasets.registry import DatasetSpec
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.transform import induced_subgraph_by_vertex_types
+from repro.views.catalog import ViewCatalog
+from repro.views.definitions import ConnectorView, keep_types_summarizer
+from repro.workloads.queries import WorkloadQuery, _result_size, workload_for_dataset
+
+
+@dataclass(frozen=True)
+class QueryRuntime:
+    """Runtime of one query in one execution mode."""
+
+    dataset: str
+    query_id: str
+    mode: str  # "filter" / "raw" / "connector"
+    seconds: float
+    result_size: int
+
+
+@dataclass
+class WorkloadRunResult:
+    """All runtimes collected for one dataset."""
+
+    dataset: str
+    runtimes: list[QueryRuntime] = field(default_factory=list)
+
+    def runtime(self, query_id: str, mode: str) -> QueryRuntime | None:
+        for record in self.runtimes:
+            if record.query_id == query_id and record.mode == mode:
+                return record
+        return None
+
+    def speedup(self, query_id: str) -> float | None:
+        """Base-mode time divided by connector-mode time for one query."""
+        base = next((r for r in self.runtimes
+                     if r.query_id == query_id and r.mode != "connector"), None)
+        connector = self.runtime(query_id, "connector")
+        if base is None or connector is None or connector.seconds == 0:
+            return None
+        return base.seconds / connector.seconds
+
+
+@dataclass
+class PreparedDataset:
+    """A dataset with its base (filter/raw) graph and 2-hop connector view."""
+
+    spec: DatasetSpec
+    base_graph: PropertyGraph
+    connector_graph: PropertyGraph
+    base_mode: str  # "filter" for heterogeneous, "raw" for homogeneous
+    connector_definition: ConnectorView
+
+
+#: Types kept by the schema-level summarizer per heterogeneous dataset (§VII-B).
+_FILTER_TYPES = {
+    "prov": ("Job", "File"),
+    "prov-summarized": ("Job", "File"),
+    "dblp": ("Author", "Article", "InProc"),
+    "dblp-summarized": ("Author", "Article", "InProc"),
+}
+
+
+def prepare_dataset(spec: DatasetSpec, max_connector_paths: int | None = 2_000_000
+                    ) -> PreparedDataset:
+    """Build the base graph and materialize its 2-hop connector view.
+
+    For the heterogeneous datasets the base graph is the summarizer-filtered
+    graph (jobs+files / authors+publications); for the homogeneous ones it is
+    the raw graph, exactly mirroring the §VII-F setup.
+    """
+    raw = spec.build()
+    if spec.heterogeneous:
+        keep = _FILTER_TYPES.get(spec.name, tuple(raw.vertex_types()))
+        base_graph = induced_subgraph_by_vertex_types(raw, keep,
+                                                      name=f"{spec.name}|filter")
+        base_mode = "filter"
+    else:
+        base_graph = raw
+        base_mode = "raw"
+
+    connector_definition = ConnectorView(
+        name=f"{spec.name}_2hop_connector",
+        connector_kind="k_hop_same_vertex_type",
+        source_type=spec.connector_vertex_type,
+        target_type=spec.connector_vertex_type,
+        k=2,
+    )
+    catalog = ViewCatalog()
+    view = catalog.materialize(base_graph, connector_definition,
+                               max_paths=max_connector_paths)
+    return PreparedDataset(
+        spec=spec,
+        base_graph=base_graph,
+        connector_graph=view.graph,
+        base_mode=base_mode,
+        connector_definition=connector_definition,
+    )
+
+
+def run_query(query: WorkloadQuery, prepared: PreparedDataset,
+              mode: str) -> QueryRuntime:
+    """Run one workload query in one mode and record its runtime."""
+    if mode == "connector":
+        graph = prepared.connector_graph
+        runner = query.run_connector
+    else:
+        graph = prepared.base_graph
+        runner = query.run_base
+    start = time.perf_counter()
+    result = runner(graph)
+    elapsed = time.perf_counter() - start
+    return QueryRuntime(
+        dataset=prepared.spec.name,
+        query_id=query.query_id,
+        mode=mode,
+        seconds=elapsed,
+        result_size=_result_size(result),
+    )
+
+
+def run_workload(prepared: PreparedDataset,
+                 query_ids: Iterable[str] | None = None,
+                 repetitions: int = 1) -> WorkloadRunResult:
+    """Run the Table IV workload over a prepared dataset in both modes.
+
+    Args:
+        prepared: Output of :func:`prepare_dataset`.
+        query_ids: Restrict to specific queries (e.g. ``["Q2", "Q4"]``).
+        repetitions: Average wall-clock time over this many runs (the paper
+            averages over 10 runs; benchmarks use fewer for speed).
+    """
+    wanted = set(query_ids) if query_ids is not None else None
+    result = WorkloadRunResult(dataset=prepared.spec.name)
+    for query in workload_for_dataset(prepared.spec.name):
+        if wanted is not None and query.query_id not in wanted:
+            continue
+        for mode in (prepared.base_mode, "connector"):
+            total = 0.0
+            size = 0
+            for _ in range(max(repetitions, 1)):
+                record = run_query(query, prepared, mode)
+                total += record.seconds
+                size = record.result_size
+            result.runtimes.append(QueryRuntime(
+                dataset=prepared.spec.name,
+                query_id=query.query_id,
+                mode=mode,
+                seconds=total / max(repetitions, 1),
+                result_size=size,
+            ))
+    return result

@@ -1,0 +1,213 @@
+"""Unit tests for the traversal, path, community, and metric analytics."""
+
+import pytest
+
+from repro.analytics import (
+    ancestors,
+    blast_radius,
+    blast_radius_by_pipeline,
+    communities,
+    community_subgraph,
+    descendants,
+    edge_count,
+    k_hop_neighborhood,
+    label_propagation,
+    largest_community,
+    path_lengths,
+    summarize,
+    vertex_count,
+)
+from repro.graph import PropertyGraph
+
+
+@pytest.fixture
+def lineage() -> PropertyGraph:
+    """j0 -> f0 -> j1 -> f1 -> j2, plus j0 -> f2 (dead end)."""
+    g = PropertyGraph(name="lineage")
+    for j in range(3):
+        g.add_vertex(f"j{j}", "Job", cpu=10.0 * (j + 1), pipelineName=f"p{j % 2}")
+    for f in range(3):
+        g.add_vertex(f"f{f}", "File")
+    g.add_edge("j0", "f0", "WRITES_TO", timestamp=1)
+    g.add_edge("f0", "j1", "IS_READ_BY", timestamp=2)
+    g.add_edge("j1", "f1", "WRITES_TO", timestamp=3)
+    g.add_edge("f1", "j2", "IS_READ_BY", timestamp=4)
+    g.add_edge("j0", "f2", "WRITES_TO", timestamp=5)
+    return g
+
+
+@pytest.fixture
+def two_cliques() -> PropertyGraph:
+    """Two dense clusters joined by a single bridge edge."""
+    g = PropertyGraph(name="cliques")
+    for i in range(8):
+        g.add_vertex(i, "Job" if i % 2 == 0 else "File")
+    for group in ([0, 1, 2, 3], [4, 5, 6, 7]):
+        for a in group:
+            for b in group:
+                if a != b:
+                    g.add_edge(a, b, "LINK")
+    g.add_edge(3, 4, "LINK")
+    return g
+
+
+class TestTraversal:
+    def test_k_hop_neighborhood_distances(self, lineage):
+        reached = k_hop_neighborhood(lineage, "j0", 4)
+        assert reached == {"f0": 1, "f2": 1, "j1": 2, "f1": 3, "j2": 4}
+
+    def test_k_hop_direction_in(self, lineage):
+        reached = k_hop_neighborhood(lineage, "j2", 4, direction="in")
+        assert set(reached) == {"f1", "j1", "f0", "j0"}
+
+    def test_k_hop_both_directions(self, lineage):
+        reached = k_hop_neighborhood(lineage, "j1", 1, direction="both")
+        assert set(reached) == {"f0", "f1"}
+
+    def test_k_hop_include_source_and_zero_hops(self, lineage):
+        assert k_hop_neighborhood(lineage, "j0", 0, include_source=True) == {"j0": 0}
+        assert k_hop_neighborhood(lineage, "j0", 0) == {}
+
+    def test_k_hop_label_restriction(self, lineage):
+        reached = k_hop_neighborhood(lineage, "j0", 4, edge_labels=["WRITES_TO"])
+        assert set(reached) == {"f0", "f2"}
+
+    def test_negative_hops_rejected(self, lineage):
+        with pytest.raises(ValueError):
+            k_hop_neighborhood(lineage, "j0", -1)
+
+    def test_descendants_and_ancestors(self, lineage):
+        assert descendants(lineage, "j0", 4, vertex_type="Job") == {"j1", "j2"}
+        assert ancestors(lineage, "j2", 4, vertex_type="Job") == {"j0", "j1"}
+        assert descendants(lineage, "j2", 4) == set()
+
+
+class TestBlastRadius:
+    def test_blast_radius_totals(self, lineage):
+        entries = {entry.job: entry for entry in blast_radius(lineage, max_hops=10)}
+        assert entries["j0"].downstream_jobs == ("j1", "j2")
+        assert entries["j0"].total_cpu == pytest.approx(20.0 + 30.0)
+        assert entries["j0"].average_cpu == pytest.approx(25.0)
+        assert entries["j2"].total_cpu == 0.0
+
+    def test_blast_radius_sorted_descending(self, lineage):
+        entries = blast_radius(lineage, max_hops=10)
+        totals = [entry.total_cpu for entry in entries]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_blast_radius_hop_limit(self, lineage):
+        entries = {entry.job: entry for entry in blast_radius(lineage, max_hops=2)}
+        assert entries["j0"].downstream_jobs == ("j1",)
+
+    def test_blast_radius_specific_anchors(self, lineage):
+        entries = blast_radius(lineage, anchors=["j1"])
+        assert len(entries) == 1 and entries[0].job == "j1"
+
+    def test_blast_radius_by_pipeline(self, lineage):
+        per_pipeline = blast_radius_by_pipeline(lineage, max_hops=10)
+        assert set(per_pipeline) == {"p0", "p1"}
+        assert per_pipeline["p0"] >= 0
+
+
+class TestPathLengths:
+    def test_max_aggregation_uses_edge_property(self, lineage):
+        entries = {e.target: e for e in path_lengths(lineage, "j0", max_hops=4)}
+        assert entries["j2"].weight == 4  # max timestamp along j0..j2
+        assert entries["f2"].weight == 5
+        assert entries["f0"].hops == 1
+
+    def test_sum_aggregation(self, lineage):
+        entries = {e.target: e for e in path_lengths(lineage, "j0", max_hops=4,
+                                                     aggregate="sum")}
+        assert entries["j2"].weight == 1 + 2 + 3 + 4
+
+    def test_missing_property_uses_default(self):
+        g = PropertyGraph()
+        g.add_vertex("a", "V")
+        g.add_vertex("b", "V")
+        g.add_edge("a", "b", "L")
+        entries = path_lengths(g, "a", max_hops=2, default_weight=7.0)
+        assert entries[0].weight == 7.0
+
+    def test_invalid_aggregate(self, lineage):
+        with pytest.raises(ValueError):
+            path_lengths(lineage, "j0", aggregate="median")
+
+    def test_hop_bound_respected(self, lineage):
+        entries = path_lengths(lineage, "j0", max_hops=1)
+        assert {e.target for e in entries} == {"f0", "f2"}
+
+
+class TestCommunity:
+    def test_label_propagation_separates_cliques(self, two_cliques):
+        labels = label_propagation(two_cliques, passes=10)
+        first = {labels[i] for i in (0, 1, 2)}
+        second = {labels[i] for i in (5, 6, 7)}
+        assert len(first) == 1
+        assert len(second) == 1
+        assert first != second
+
+    def test_label_propagation_writes_property(self, two_cliques):
+        label_propagation(two_cliques, passes=5, write_property="community")
+        assert all("community" in v.properties for v in two_cliques.vertices())
+
+    def test_label_propagation_no_write(self, two_cliques):
+        label_propagation(two_cliques, passes=5, write_property=None)
+        assert all("community" not in v.properties for v in two_cliques.vertices())
+
+    def test_label_propagation_zero_passes_identity(self, two_cliques):
+        labels = label_propagation(two_cliques, passes=0, write_property=None)
+        assert all(label == vid for vid, label in labels.items())
+
+    def test_label_propagation_deterministic(self, two_cliques):
+        a = label_propagation(two_cliques, passes=10, write_property=None)
+        b = label_propagation(two_cliques, passes=10, write_property=None)
+        assert a == b
+
+    def test_negative_passes_rejected(self, two_cliques):
+        with pytest.raises(ValueError):
+            label_propagation(two_cliques, passes=-1)
+
+    def test_communities_and_largest(self, two_cliques):
+        labels = label_propagation(two_cliques, passes=10, write_property=None)
+        summaries = communities(two_cliques, labels=labels)
+        assert sum(s.size for s in summaries) == two_cliques.num_vertices
+        biggest = largest_community(two_cliques, labels=labels, by_vertex_type="Job")
+        assert biggest is not None
+        assert biggest.count_of_type("Job") >= 1
+
+    def test_largest_community_overall(self, two_cliques):
+        labels = label_propagation(two_cliques, passes=10, write_property=None)
+        biggest = largest_community(two_cliques, labels=labels, by_vertex_type=None)
+        assert biggest.size == max(s.size for s in communities(two_cliques, labels=labels))
+
+    def test_largest_community_empty_graph(self):
+        assert largest_community(PropertyGraph()) is None
+
+    def test_community_subgraph(self, two_cliques):
+        labels = label_propagation(two_cliques, passes=10, write_property=None)
+        biggest = largest_community(two_cliques, labels=labels, by_vertex_type=None)
+        subgraph = community_subgraph(two_cliques, biggest.label, labels=labels)
+        assert subgraph.num_vertices == biggest.size
+        assert subgraph.num_edges > 0
+
+
+class TestMetrics:
+    def test_counts(self, lineage):
+        assert edge_count(lineage) == 5
+        assert edge_count(lineage, "WRITES_TO") == 3
+        assert vertex_count(lineage) == 6
+        assert vertex_count(lineage, "Job") == 3
+
+    def test_summarize(self, lineage):
+        summary = summarize(lineage)
+        assert summary.num_vertices == 6
+        assert summary.num_edges == 5
+        assert summary.num_vertex_types == 2
+        assert summary.max_out_degree == 2
+        assert summary.mean_out_degree == pytest.approx(5 / 6)
+
+    def test_summarize_empty(self):
+        summary = summarize(PropertyGraph(name="empty"))
+        assert summary.num_vertices == 0
+        assert summary.mean_out_degree == 0.0

@@ -1,0 +1,154 @@
+"""Unit tests for constraint-based view enumeration (§IV)."""
+
+import pytest
+
+from repro.core import ViewEnumerator
+from repro.graph import GraphSchema, dblp_schema, homogeneous_schema, provenance_schema
+from repro.query import parse_query
+from repro.views import ConnectorView, SummarizerView
+
+BLAST_RADIUS = (
+    "MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File), "
+    "(q_f1:File)-[r*0..8]->(q_f2:File), "
+    "(q_f2:File)-[:IS_READ_BY]->(q_j2:Job) "
+    "RETURN q_j1 AS A, q_j2 AS B"
+)
+
+
+@pytest.fixture
+def prov_enumerator() -> ViewEnumerator:
+    return ViewEnumerator(provenance_schema(include_tasks=False))
+
+
+@pytest.fixture
+def blast_radius():
+    return parse_query(BLAST_RADIUS, name="blast-radius")
+
+
+class TestBlastRadiusEnumeration:
+    def test_k_hop_connectors_match_section_iv_b(self, prov_enumerator, blast_radius):
+        """§IV-B: valid job-to-job instantiations are exactly k = 2, 4, 6, 8, 10."""
+        result = prov_enumerator.enumerate(blast_radius)
+        k_hop = [c for c in result.connectors
+                 if isinstance(c.definition, ConnectorView) and c.definition.k is not None]
+        job_to_job = [c for c in k_hop
+                      if c.definition.source_type == "Job"
+                      and c.definition.target_type == "Job"]
+        assert sorted(c.definition.k for c in job_to_job) == [2, 4, 6, 8, 10]
+        # Connector endpoints map to the projected query vertices.
+        assert all(c.source_variable == "q_j1" and c.target_variable == "q_j2"
+                   for c in job_to_job)
+
+    def test_no_odd_or_overlong_connectors(self, prov_enumerator, blast_radius):
+        result = prov_enumerator.enumerate(blast_radius)
+        for candidate in result.connectors:
+            k = getattr(candidate.definition, "k", None)
+            if k is not None:
+                assert k % 2 == 0          # bipartite schema: odd k infeasible
+                assert k <= 10             # bounded by the query's hop limit
+
+    def test_non_projected_endpoints_are_pruned(self, prov_enumerator, blast_radius):
+        result = prov_enumerator.enumerate(blast_radius)
+        for candidate in result.connectors:
+            if candidate.source_variable is not None:
+                assert candidate.source_variable in ("q_j1", "q_j2")
+            if candidate.target_variable is not None:
+                assert candidate.target_variable in ("q_j1", "q_j2")
+
+    def test_summarizer_keeps_only_used_types(self, prov_enumerator, blast_radius):
+        result = prov_enumerator.enumerate(blast_radius)
+        summarizers = [c for c in result.summarizers
+                       if isinstance(c.definition, SummarizerView)
+                       and c.definition.summarizer_kind == "vertex_inclusion"]
+        assert len(summarizers) == 1
+        assert set(summarizers[0].definition.vertex_types) == {"Job", "File"}
+
+    def test_full_schema_summarizer_drops_unused_edges(self, blast_radius):
+        enumerator = ViewEnumerator(provenance_schema(include_tasks=True))
+        result = enumerator.enumerate(blast_radius)
+        removals = [c for c in result.summarizers
+                    if isinstance(c.definition, SummarizerView)
+                    and c.definition.summarizer_kind == "edge_removal"]
+        assert len(removals) == 1
+        labels = set(removals[0].definition.edge_labels)
+        assert "SPAWNS" in labels and "RUNS" in labels and "SUBMITS" in labels
+        assert "WRITES_TO" not in labels
+
+    def test_candidates_are_deduplicated(self, prov_enumerator, blast_radius):
+        result = prov_enumerator.enumerate(blast_radius)
+        signatures = [c.definition.signature() for c in result.candidates]
+        assert len(signatures) == len(set(signatures))
+
+    def test_by_template_and_len(self, prov_enumerator, blast_radius):
+        result = prov_enumerator.enumerate(blast_radius)
+        assert len(result) == len(result.candidates)
+        assert len(result.by_template("kHopConnectorSameVertexType")) == 5
+
+
+class TestOtherSchemasAndQueries:
+    def test_dblp_coauthor_query(self):
+        enumerator = ViewEnumerator(dblp_schema(include_venues=False))
+        query = parse_query(
+            "MATCH (a1:Author)-[:WRITES]->(p:Article), (p)-[:WRITTEN_BY]->(a2:Author) "
+            "RETURN a1, a2", name="coauthors")
+        result = enumerator.enumerate(query)
+        author_connectors = [
+            c for c in result.connectors
+            if getattr(c.definition, "source_type", None) == "Author"
+            and getattr(c.definition, "k", None) == 2
+        ]
+        assert author_connectors, "expected an author-to-author 2-hop connector"
+
+    def test_homogeneous_schema_vertex_connector(self):
+        enumerator = ViewEnumerator(homogeneous_schema())
+        query = parse_query(
+            "MATCH (a:Vertex)-[r*1..4]->(b:Vertex) RETURN a, b", name="reach")
+        result = enumerator.enumerate(query)
+        ks = sorted(c.definition.k for c in result.connectors
+                    if getattr(c.definition, "k", None) is not None)
+        assert ks == [1, 2, 3, 4]
+
+    def test_untyped_query_produces_no_k_hop_connectors(self, prov_enumerator):
+        # Without vertex types, the k-hop templates cannot fire; only the
+        # (type-agnostic) source-to-sink connector remains a candidate.
+        query = parse_query("MATCH (a)-[*1..3]->(b) RETURN a, b", name="untyped")
+        result = prov_enumerator.enumerate(query)
+        assert all(getattr(c.definition, "k", None) is None for c in result.connectors)
+        assert all(c.template == "sourceToSinkConnector" for c in result.connectors)
+
+    def test_single_edge_query(self, prov_enumerator):
+        query = parse_query("MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f",
+                            name="writes")
+        result = prov_enumerator.enumerate(query)
+        ks = {c.definition.k for c in result.connectors
+              if getattr(c.definition, "k", None) is not None}
+        assert ks == {1}
+
+    def test_enumerate_workload(self, prov_enumerator, blast_radius):
+        other = parse_query("MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f", name="q2")
+        results = prov_enumerator.enumerate_workload([blast_radius, other])
+        assert len(results) == 2
+        assert results[0].query is blast_radius
+
+
+class TestSearchSpaceReport:
+    def test_constraints_prune_the_search_space(self, blast_radius):
+        # With the full provenance schema (which has a task-to-task cycle), the
+        # unconstrained schema-path space blows up while the constrained
+        # enumeration stays small (§IV-A2).
+        enumerator = ViewEnumerator(provenance_schema(include_tasks=True))
+        report = enumerator.search_space_report(blast_radius)
+        assert report.unconstrained_schema_paths > report.constrained_candidates
+        assert report.reduction_factor > 5
+
+    def test_procedural_baseline(self, prov_enumerator, blast_radius):
+        report = prov_enumerator.search_space_report(blast_radius, baseline="procedural",
+                                                     max_k=4)
+        assert report.max_k == 4
+        assert report.constrained_candidates > 0
+
+    def test_custom_schema_without_cycles(self, blast_radius):
+        schema = GraphSchema.from_edges([("Job", "WRITES_TO", "File")])
+        enumerator = ViewEnumerator(schema)
+        report = enumerator.search_space_report(blast_radius, max_k=3)
+        assert report.unconstrained_schema_paths == 1  # only the single 1-hop path

@@ -1,0 +1,168 @@
+"""Unit and property tests for view size estimation (Eq. 1-3, §V-A)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ViewSizeEstimator,
+    erdos_renyi_estimate,
+    heterogeneous_estimate,
+    homogeneous_estimate,
+)
+from repro.errors import EstimationError
+from repro.graph import PropertyGraph, compute_statistics, count_k_length_paths
+from repro.views import ConnectorView, job_to_job_connector, keep_types_summarizer
+
+
+def bipartite_lineage(num_jobs: int, fan_out: int) -> PropertyGraph:
+    """Every job writes ``fan_out`` files; every file is read by one job."""
+    g = PropertyGraph(name="lineage")
+    for j in range(num_jobs):
+        g.add_vertex(f"j{j}", "Job")
+    for j in range(num_jobs):
+        for i in range(fan_out):
+            file_id = f"f{j}_{i}"
+            g.add_vertex(file_id, "File")
+            g.add_edge(f"j{j}", file_id, "WRITES_TO")
+            g.add_edge(file_id, f"j{(j + 1) % num_jobs}", "IS_READ_BY")
+    return g
+
+
+def ring_graph(n: int) -> PropertyGraph:
+    g = PropertyGraph(name="ring")
+    for i in range(n):
+        g.add_vertex(i, "Vertex")
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n, "LINK")
+    return g
+
+
+class TestEquationOne:
+    def test_formula_value(self):
+        # C(4, 3) * (3 / C(4, 2))^2 = 4 * (0.5)^2 = 1.0
+        assert erdos_renyi_estimate(4, 3, 2) == pytest.approx(1.0)
+
+    def test_degenerate_graphs(self):
+        assert erdos_renyi_estimate(1, 0, 2) == 0.0
+        assert erdos_renyi_estimate(3, 0, 5) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(EstimationError):
+            erdos_renyi_estimate(10, 10, 0)
+
+    def test_underestimates_skewed_graphs(self):
+        """The paper's observation: Eq. 1 underestimates real (skewed) graphs."""
+        g = PropertyGraph()
+        hub_count, leaf_count = 1, 200
+        g.add_vertex("hub", "V")
+        for i in range(leaf_count):
+            g.add_vertex(f"in{i}", "V")
+            g.add_vertex(f"out{i}", "V")
+            g.add_edge(f"in{i}", "hub", "L")
+            g.add_edge("hub", f"out{i}", "L")
+        actual = count_k_length_paths(g, 2)
+        estimate = erdos_renyi_estimate(g.num_vertices, g.num_edges, 2)
+        assert actual == leaf_count * leaf_count
+        assert estimate < actual / 10
+
+
+class TestEquationsTwoAndThree:
+    def test_homogeneous_formula(self):
+        assert homogeneous_estimate(100, 3.0, 2) == pytest.approx(900.0)
+        with pytest.raises(EstimationError):
+            homogeneous_estimate(10, 2.0, 0)
+
+    def test_homogeneous_alpha100_upper_bounds_ring(self):
+        g = ring_graph(20)
+        stats = compute_statistics(g)
+        estimate = homogeneous_estimate(stats.total_vertices, stats.degree_at(100), 3)
+        actual = count_k_length_paths(g, 3)
+        assert estimate >= actual
+
+    def test_heterogeneous_formula(self):
+        g = bipartite_lineage(num_jobs=5, fan_out=3)
+        stats = compute_statistics(g)
+        estimate = heterogeneous_estimate(stats, 2, alpha=100)
+        actual = count_k_length_paths(g, 2)
+        assert estimate >= actual  # α = 100 is an upper bound (§V-A)
+
+    def test_heterogeneous_requires_valid_k(self):
+        stats = compute_statistics(bipartite_lineage(2, 1))
+        with pytest.raises(EstimationError):
+            heterogeneous_estimate(stats, 0)
+
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=1, max_value=3),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_alpha100_upper_bound_property(self, num_jobs, fan_out, k):
+        """At α = 100 the estimators upper-bound the true k-path count (§V-A)."""
+        g = bipartite_lineage(num_jobs, fan_out)
+        stats = compute_statistics(g)
+        estimate = heterogeneous_estimate(stats, k, alpha=100)
+        actual = count_k_length_paths(g, k)
+        assert estimate + 1e-9 >= actual
+
+
+class TestViewSizeEstimator:
+    def test_connector_estimate_uses_heterogeneous_formula(self):
+        g = bipartite_lineage(10, 2)
+        estimator = ViewSizeEstimator.for_graph(g, alpha=100)
+        estimate = estimator.estimate(job_to_job_connector())
+        assert estimate.method == "eq3-heterogeneous"
+        assert estimate.k == 2
+        from repro.views import count_connector_edges
+        assert estimate.edges >= count_connector_edges(g, job_to_job_connector())
+
+    def test_connector_estimate_homogeneous_graph(self):
+        g = ring_graph(30)
+        estimator = ViewSizeEstimator.for_graph(g, alpha=95)
+        estimate = estimator.estimate(ConnectorView(
+            name="v2v", connector_kind="k_hop_same_vertex_type",
+            source_type="Vertex", target_type="Vertex", k=2))
+        assert estimate.method == "eq2-homogeneous"
+        assert estimate.edges == pytest.approx(30.0)  # n * 1^2
+
+    def test_estimate_grows_with_k(self):
+        g = bipartite_lineage(10, 3)
+        estimator = ViewSizeEstimator.for_graph(g)
+        assert estimator.estimate(job_to_job_connector(4)).edges >= estimator.estimate(
+            job_to_job_connector(2)).edges
+
+    def test_summarizer_estimate_bounded_by_graph(self):
+        g = bipartite_lineage(10, 2)
+        estimator = ViewSizeEstimator.for_graph(g)
+        estimate = estimator.estimate(keep_types_summarizer(["Job", "File"]))
+        assert 0 < estimate.edges <= g.num_edges
+
+    def test_summarizer_estimate_empty_for_unknown_type(self):
+        g = bipartite_lineage(4, 1)
+        estimator = ViewSizeEstimator.for_graph(g)
+        estimate = estimator.estimate(keep_types_summarizer(["Spaceship"]))
+        assert estimate.edges == 0
+
+    def test_erdos_renyi_helper(self):
+        g = ring_graph(10)
+        estimator = ViewSizeEstimator.for_graph(g)
+        assert estimator.erdos_renyi(2).method == "eq1-erdos-renyi"
+
+    def test_unknown_view_type_rejected(self):
+        g = ring_graph(5)
+        estimator = ViewSizeEstimator.for_graph(g)
+
+        class FakeView:
+            pass
+
+        with pytest.raises(EstimationError):
+            estimator.estimate(FakeView())
+
+    def test_unknown_source_type_estimates_zero(self):
+        g = ring_graph(5)
+        estimator = ViewSizeEstimator.for_graph(g)
+        view = ConnectorView(name="x", connector_kind="k_hop", k=2, source_type="Ghost")
+        # The homogeneous branch ignores source types; force heterogeneity.
+        g2 = bipartite_lineage(3, 1)
+        estimator2 = ViewSizeEstimator.for_graph(g2)
+        assert estimator2.estimate(view).edges == 0

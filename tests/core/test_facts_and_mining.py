@@ -1,0 +1,148 @@
+"""Unit tests for explicit fact extraction and constraint mining rules."""
+
+import pytest
+
+from repro.core import (
+    describe_facts,
+    k_hop_schema_paths_procedural,
+    mining_rules,
+    query_to_facts,
+    schema_to_facts,
+)
+from repro.graph import provenance_schema
+from repro.inference import InferenceEngine, RuleDatabase, var
+from repro.query import parse_query
+
+BLAST_RADIUS = (
+    "MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File), "
+    "(q_f1:File)-[r*0..8]->(q_f2:File), "
+    "(q_f2:File)-[:IS_READ_BY]->(q_j2:Job) "
+    "RETURN q_j1 AS A, q_j2 AS B"
+)
+
+
+@pytest.fixture
+def blast_radius_query():
+    return parse_query(BLAST_RADIUS, name="blast-radius")
+
+
+class TestExplicitFacts:
+    def test_query_facts_match_section_iv_a1(self, blast_radius_query):
+        rendered = describe_facts(query_to_facts(blast_radius_query))
+        expected = [
+            "queryVertex(q_j1).",
+            "queryVertex(q_f1).",
+            "queryVertex(q_f2).",
+            "queryVertex(q_j2).",
+            "queryVertexType(q_j1, Job).",
+            "queryVertexType(q_f1, File).",
+            "queryVertexType(q_f2, File).",
+            "queryVertexType(q_j2, Job).",
+            "queryEdge(q_j1, q_f1).",
+            "queryEdge(q_f2, q_j2).",
+            "queryEdgeType(q_j1, q_f1, WRITES_TO).",
+            "queryEdgeType(q_f2, q_j2, IS_READ_BY).",
+            "queryVariableLengthPath(q_f1, q_f2, 0, 8).",
+        ]
+        for line in expected:
+            assert line in rendered
+        assert len(rendered) == len(expected)
+
+    def test_incoming_edge_direction_is_normalized(self):
+        query = parse_query("MATCH (f:File)<-[:WRITES_TO]-(j:Job) RETURN f")
+        rendered = describe_facts(query_to_facts(query))
+        assert "queryEdge(j, f)." in rendered
+
+    def test_schema_facts(self):
+        rendered = describe_facts(schema_to_facts(provenance_schema(include_tasks=False)))
+        assert "schemaVertex(Job)." in rendered
+        assert "schemaVertex(File)." in rendered
+        assert "schemaEdge(Job, File, WRITES_TO)." in rendered
+        assert "schemaEdge(File, Job, IS_READ_BY)." in rendered
+        assert len(rendered) == 4
+
+
+def build_engine(query, schema=None):
+    schema = schema or provenance_schema(include_tasks=False)
+    database = RuleDatabase()
+    database.add_all(schema_to_facts(schema))
+    database.add_all(query_to_facts(query))
+    database.add_all(mining_rules())
+    return InferenceEngine(database=database, max_depth=20000)
+
+
+class TestMiningRules:
+    def test_schema_k_hop_walks(self, blast_radius_query):
+        engine = build_engine(blast_radius_query)
+        assert engine.ask("schemaKHopPath", "Job", "Job", 2)
+        assert engine.ask("schemaKHopPath", "Job", "Job", 4)
+        assert not engine.ask("schemaKHopPath", "Job", "Job", 3)
+        assert engine.ask("schemaKHopPath", "File", "File", 6)
+
+    def test_schema_path_transitive_closure(self, blast_radius_query):
+        engine = build_engine(blast_radius_query, provenance_schema())
+        assert engine.ask("schemaPath", "User", "File")
+        assert engine.ask("schemaPath", "Job", "Job")
+        assert not engine.ask("schemaPath", "File", "User")
+
+    def test_listing2_simple_path_semantics(self, blast_radius_query):
+        engine = build_engine(blast_radius_query)
+        assert engine.ask("schemaKHopSimplePath", "Job", "Job", 2)
+        assert not engine.ask("schemaKHopSimplePath", "Job", "Job", 4)
+
+    def test_query_k_hop_variable_length(self, blast_radius_query):
+        engine = build_engine(blast_radius_query)
+        ks = {s["K"] for s in engine.query(
+            "queryKHopVariableLengthPath", "q_f1", "q_f2", var("K"))}
+        assert ks == set(range(0, 9))
+
+    def test_query_k_hop_path_end_to_end(self, blast_radius_query):
+        # q_j1 to q_j2 spans 2..10 hops: 1 (write) + 0..8 (var-length) + 1 (read).
+        engine = build_engine(blast_radius_query)
+        ks = {s["K"] for s in engine.query("queryKHopPath", "q_j1", "q_j2", var("K"))}
+        assert ks == set(range(2, 11))
+
+    def test_query_path_reachability(self, blast_radius_query):
+        engine = build_engine(blast_radius_query)
+        assert engine.ask("queryPath", "q_j1", "q_j2")
+        assert engine.ask("queryPath", "q_f1", "q_j2")
+        assert not engine.ask("queryPath", "q_j2", "q_j1")
+
+    def test_query_source_and_sink(self, blast_radius_query):
+        engine = build_engine(blast_radius_query)
+        sources = {s["X"] for s in engine.query("queryVertexSource", var("X"))}
+        sinks = {s["X"] for s in engine.query("queryVertexSink", var("X"))}
+        assert sources == {"q_j1"}
+        assert sinks == {"q_j2"}
+
+    def test_query_degrees(self, blast_radius_query):
+        engine = build_engine(blast_radius_query)
+        assert engine.ask("queryVertexOutDegree", "q_j1", 1)
+        assert engine.ask("queryVertexInDegree", "q_j2", 1)
+        assert engine.ask("queryVertexInDegree", "q_j1", 0)
+
+
+class TestProceduralAlgorithm1:
+    def test_one_hop_paths_equal_schema_edges(self):
+        schema = provenance_schema(include_tasks=False)
+        paths = k_hop_schema_paths_procedural(schema, 1)
+        assert len(paths) == len(schema.edge_types)
+
+    def test_two_hop_paths(self):
+        schema = provenance_schema(include_tasks=False)
+        paths = k_hop_schema_paths_procedural(schema, 2)
+        endpoints = {(p[0][0], p[-1][1]) for p in paths}
+        assert endpoints == {("Job", "Job"), ("File", "File")}
+
+    def test_paths_are_connected_sequences(self):
+        schema = provenance_schema()
+        for path in k_hop_schema_paths_procedural(schema, 3):
+            for left, right in zip(path, path[1:]):
+                assert left[1] == right[0]
+
+    def test_invalid_k_returns_empty(self):
+        assert k_hop_schema_paths_procedural(provenance_schema(), 0) == []
+
+    def test_accepts_plain_edge_triples(self):
+        edges = [("A", "B", "x"), ("B", "A", "y")]
+        assert len(k_hop_schema_paths_procedural(edges, 1)) == 2

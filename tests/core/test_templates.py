@@ -1,0 +1,115 @@
+"""Unit tests for the view template library (§IV-B, Listings 3 and 5)."""
+
+import pytest
+
+from repro.core import ViewCandidate, all_template_rules, connector_templates, summarizer_templates
+from repro.core.templates import AggregateTemplate, ViewTemplate
+from repro.query import parse_query
+from repro.views import ConnectorView, SummarizerView, job_to_job_connector
+
+BLAST_RADIUS = (
+    "MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File), "
+    "(q_f1:File)-[r*0..8]->(q_f2:File), "
+    "(q_f2:File)-[:IS_READ_BY]->(q_j2:Job) "
+    "RETURN q_j1 AS A, q_j2 AS B"
+)
+
+
+@pytest.fixture
+def blast_radius():
+    return parse_query(BLAST_RADIUS, name="Q1")
+
+
+class TestTemplateLibrary:
+    def test_connector_templates_cover_listing3(self):
+        names = {template.name for template in connector_templates()}
+        assert names == {
+            "kHopConnector",
+            "kHopConnectorSameVertexType",
+            "connectorSameVertexType",
+            "sourceToSinkConnector",
+        }
+
+    def test_summarizer_templates_present(self):
+        names = {template.name for template in summarizer_templates()}
+        assert names == {"summarizerKeepVertexType", "summarizerRemoveEdgeLabel"}
+        assert all(isinstance(t, AggregateTemplate) for t in summarizer_templates())
+
+    def test_all_template_rules_deduplicated(self):
+        rules = all_template_rules()
+        rendered = [str(rule) for rule in rules]
+        assert len(rendered) == len(set(rendered))
+        heads = {rule.head.functor for rule in rules}
+        assert {"kHopConnector", "kHopConnectorSameVertexType",
+                "connectorSameVertexType", "sourceToSinkConnector",
+                "summarizerKeepVertexType", "summarizerRemoveEdgeLabel"} <= heads
+
+    def test_templates_are_view_templates(self):
+        for template in connector_templates():
+            assert isinstance(template, ViewTemplate)
+            assert template.goal.functor == template.name
+
+
+class TestConverters:
+    def test_k_hop_converter_builds_connector_view(self, blast_radius):
+        template = next(t for t in connector_templates() if t.name == "kHopConnector")
+        solution = {"X": "q_j1", "Y": "q_j2", "XTYPE": "Job", "YTYPE": "Job", "K": 2}
+        candidate = template.convert(solution, blast_radius)
+        assert isinstance(candidate, ViewCandidate)
+        assert isinstance(candidate.definition, ConnectorView)
+        assert candidate.definition.k == 2
+        assert candidate.definition.connector_kind == "k_hop_same_vertex_type"
+        assert candidate.source_variable == "q_j1"
+        assert candidate.binding("K") == 2
+        assert candidate.query_name == "Q1"
+
+    def test_k_hop_converter_mixed_types(self, blast_radius):
+        template = next(t for t in connector_templates() if t.name == "kHopConnector")
+        solution = {"X": "q_j1", "Y": "q_j2", "XTYPE": "Job", "YTYPE": "File", "K": 3}
+        candidate = template.convert(solution, blast_radius)
+        assert candidate.definition.connector_kind == "k_hop"
+        assert candidate.definition.target_type == "File"
+
+    def test_converter_prunes_non_projected_endpoints(self, blast_radius):
+        template = next(t for t in connector_templates() if t.name == "kHopConnector")
+        solution = {"X": "q_f1", "Y": "q_f2", "XTYPE": "File", "YTYPE": "File", "K": 2}
+        assert template.convert(solution, blast_radius) is None
+
+    def test_converter_keeps_everything_without_returns(self):
+        bare = parse_query("MATCH (a:Job)-[:WRITES_TO]->(f:File)", name="bare")
+        template = next(t for t in connector_templates() if t.name == "kHopConnector")
+        solution = {"X": "a", "Y": "f", "XTYPE": "Job", "YTYPE": "File", "K": 1}
+        assert template.convert(solution, bare) is not None
+
+    def test_source_to_sink_converter(self, blast_radius):
+        template = next(t for t in connector_templates()
+                        if t.name == "sourceToSinkConnector")
+        candidate = template.convert({"X": "q_j1", "Y": "q_j2"}, blast_radius)
+        assert candidate.definition.connector_kind == "source_to_sink"
+        assert candidate.definition.source_type == "Job"
+        # Bounded by the longest single path pattern in the query (the 0..8
+        # variable-length fragment).
+        assert candidate.definition.max_hops == 8
+
+    def test_summarizer_keep_converter_aggregates_solutions(self, blast_radius):
+        aggregate = next(t for t in summarizer_templates()
+                         if t.name == "summarizerKeepVertexType")
+        candidate = aggregate.converter([{"T": "Job"}, {"T": "File"}, {"T": "Job"}],
+                                        blast_radius)
+        assert isinstance(candidate.definition, SummarizerView)
+        assert candidate.definition.vertex_types == ("File", "Job")
+        assert aggregate.converter([], blast_radius) is None
+
+    def test_summarizer_remove_edges_converter(self, blast_radius):
+        aggregate = next(t for t in summarizer_templates()
+                         if t.name == "summarizerRemoveEdgeLabel")
+        candidate = aggregate.converter([{"L": "SPAWNS"}, {"L": "RUNS"}], blast_radius)
+        assert candidate.definition.summarizer_kind == "edge_removal"
+        assert set(candidate.definition.edge_labels) == {"SPAWNS", "RUNS"}
+        assert aggregate.converter([], blast_radius) is None
+
+    def test_view_candidate_binding_lookup(self):
+        candidate = ViewCandidate(definition=job_to_job_connector(), template="manual",
+                                  bindings=(("K", 2),))
+        assert candidate.binding("K") == 2
+        assert candidate.binding("missing", "default") == "default"

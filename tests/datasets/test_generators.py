@@ -1,0 +1,183 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.datasets import (
+    DATASET_NAMES,
+    dataset,
+    dblp_graph,
+    erdos_renyi_graph,
+    evaluation_datasets,
+    load_dataset,
+    power_law_graph,
+    provenance_graph,
+    roadnet_graph,
+    social_graph,
+    summarized_dblp_graph,
+    summarized_provenance_graph,
+)
+from repro.graph import compute_statistics, degree_ccdf, fit_power_law, provenance_schema
+
+
+class TestProvenance:
+    def test_schema_conformance(self):
+        graph = provenance_graph(num_jobs=30, include_tasks=True, seed=1)
+        assert graph.check_against_schema(provenance_schema(include_tasks=True)) == []
+
+    def test_no_job_job_or_file_file_edges(self):
+        graph = provenance_graph(num_jobs=30, seed=2)
+        for edge in graph.edges():
+            source_type = graph.vertex(edge.source).type
+            target_type = graph.vertex(edge.target).type
+            assert (source_type, target_type) in {("Job", "File"), ("File", "Job")}
+
+    def test_deterministic_given_seed(self):
+        a = provenance_graph(num_jobs=20, seed=5)
+        b = provenance_graph(num_jobs=20, seed=5)
+        assert a.num_vertices == b.num_vertices
+        assert a.num_edges == b.num_edges
+
+    def test_different_seeds_differ(self):
+        a = provenance_graph(num_jobs=20, seed=5)
+        b = provenance_graph(num_jobs=20, seed=6)
+        assert {(e.source, e.target) for e in a.edges()} != {
+            (e.source, e.target) for e in b.edges()}
+
+    def test_lineage_chains_exist(self):
+        graph = provenance_graph(num_jobs=40, num_stages=4, seed=3)
+        # At least one job -> file -> job chain must exist for the blast radius
+        # query to have non-trivial answers.
+        chains = 0
+        for job in graph.vertices("Job"):
+            for file_edge in graph.out_edges(job.id, "WRITES_TO"):
+                chains += sum(1 for _ in graph.out_edges(file_edge.target, "IS_READ_BY"))
+        assert chains > 0
+
+    def test_include_tasks_adds_types(self):
+        graph = provenance_graph(num_jobs=10, include_tasks=True, seed=4)
+        assert {"Job", "File", "Task", "Machine", "User"} <= set(graph.vertex_types())
+
+    def test_summarized_variant_has_only_jobs_and_files(self):
+        graph = summarized_provenance_graph(num_jobs=10, seed=4)
+        assert set(graph.vertex_types()) == {"Job", "File"}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            provenance_graph(num_jobs=0)
+
+    def test_heavy_tailed_out_degrees(self):
+        graph = provenance_graph(num_jobs=200, max_fanout=30, seed=9)
+        stats = compute_statistics(graph)
+        job_summary = stats.per_type["Job"]
+        assert job_summary.max_out_degree > 2 * job_summary.percentiles[50.0]
+
+
+class TestDblp:
+    def test_types_and_edges(self):
+        graph = dblp_graph(num_authors=30, num_publications=40, seed=1)
+        assert {"Author", "Venue"} <= set(graph.vertex_types())
+        assert {"WRITES", "WRITTEN_BY", "PUBLISHED_IN"} <= set(graph.edge_labels())
+
+    def test_author_connectivity_only_via_publications(self):
+        graph = dblp_graph(num_authors=20, num_publications=30, seed=2)
+        for edge in graph.edges():
+            types = (graph.vertex(edge.source).type, graph.vertex(edge.target).type)
+            assert types != ("Author", "Author")
+
+    def test_summarized_variant_drops_venues(self):
+        graph = summarized_dblp_graph(num_authors=20, num_publications=30, seed=2)
+        assert "Venue" not in graph.vertex_types()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            dblp_graph(num_authors=0)
+
+    def test_every_publication_has_an_author(self):
+        graph = dblp_graph(num_authors=15, num_publications=25, seed=3)
+        for pub in list(graph.vertices("Article")) + list(graph.vertices("InProc")):
+            assert graph.in_degree(pub.id, "WRITES") >= 1
+
+
+class TestHomogeneousNetworks:
+    def test_social_graph_power_law(self):
+        graph = social_graph(num_vertices=500, seed=11)
+        exponent, r_squared = fit_power_law(degree_ccdf(graph, direction="in"))
+        assert exponent > 0.3
+        assert r_squared > 0.6
+
+    def test_social_graph_single_type(self):
+        graph = social_graph(num_vertices=100, seed=11)
+        assert graph.vertex_types() == ["Vertex"]
+        assert graph.num_edges > graph.num_vertices
+
+    def test_roadnet_low_uniform_degree(self):
+        graph = roadnet_graph(width=15, height=15, seed=5)
+        stats = compute_statistics(graph)
+        assert stats.per_type["Vertex"].max_out_degree <= 8
+        assert stats.per_type["Vertex"].mean_out_degree >= 1.0
+
+    def test_roadnet_bidirectional_edges(self):
+        graph = roadnet_graph(width=5, height=5, seed=5)
+        forward = {(e.source, e.target) for e in graph.edges()}
+        assert all((t, s) in forward for s, t in forward)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            social_graph(num_vertices=1)
+        with pytest.raises(DatasetError):
+            roadnet_graph(width=1, height=5)
+
+
+class TestRandomGraphs:
+    def test_erdos_renyi_edge_count(self):
+        graph = erdos_renyi_graph(50, 200, seed=3)
+        assert graph.num_vertices == 50
+        assert graph.num_edges == 200
+
+    def test_erdos_renyi_no_self_loops(self):
+        graph = erdos_renyi_graph(20, 50, seed=3)
+        assert all(e.source != e.target for e in graph.edges())
+
+    def test_erdos_renyi_invalid(self):
+        with pytest.raises(DatasetError):
+            erdos_renyi_graph(1, 5)
+        with pytest.raises(DatasetError):
+            erdos_renyi_graph(5, 100)
+
+    def test_power_law_graph(self):
+        graph = power_law_graph(200, seed=5)
+        stats = compute_statistics(graph)
+        assert stats.per_type["Vertex"].max_out_degree > stats.per_type["Vertex"].percentiles[50.0]
+
+    def test_power_law_invalid(self):
+        with pytest.raises(DatasetError):
+            power_law_graph(1)
+
+
+class TestRegistry:
+    def test_all_names_and_scales_resolve(self):
+        for name in DATASET_NAMES:
+            spec = dataset(name, "tiny")
+            assert spec.name == name
+            graph = spec.build()
+            assert graph.num_vertices > 0
+
+    def test_unknown_name_and_scale(self):
+        with pytest.raises(DatasetError):
+            dataset("wikipedia")
+        with pytest.raises(DatasetError):
+            dataset("prov", "galactic")
+
+    def test_scales_are_increasing(self):
+        tiny = load_dataset("prov", "tiny")
+        small = load_dataset("prov", "small")
+        assert small.num_vertices > tiny.num_vertices
+
+    def test_evaluation_datasets_order(self):
+        names = [spec.name for spec in evaluation_datasets("tiny")]
+        assert names == ["prov", "dblp", "soc-livejournal", "roadnet-usa"]
+
+    def test_heterogeneous_flags(self):
+        assert dataset("prov", "tiny").heterogeneous
+        assert not dataset("roadnet-usa", "tiny").heterogeneous

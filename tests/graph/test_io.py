@@ -1,0 +1,91 @@
+"""Unit tests for graph serialization and edge-prefix helpers."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    PropertyGraph,
+    edge_prefix,
+    from_edge_tuples,
+    graph_from_dict,
+    graph_to_dict,
+    load_edge_list,
+    load_graph_json,
+    provenance_schema,
+    save_edge_list,
+    save_graph_json,
+)
+
+
+@pytest.fixture
+def small_graph() -> PropertyGraph:
+    g = PropertyGraph(name="small", schema=provenance_schema(include_tasks=False))
+    g.add_vertex("j1", "Job", cpu=1.5)
+    g.add_vertex("f1", "File", path="/data/a")
+    g.add_edge("j1", "f1", "WRITES_TO", bytes=1024)
+    return g
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_structure(self, small_graph):
+        clone = graph_from_dict(graph_to_dict(small_graph))
+        assert clone.num_vertices == 2
+        assert clone.num_edges == 1
+        assert clone.vertex("j1").get("cpu") == 1.5
+        assert next(clone.edges()).get("bytes") == 1024
+        assert clone.schema is not None
+        assert clone.schema.has_edge_type("Job", "File", "WRITES_TO")
+
+    def test_round_trip_without_schema(self):
+        g = PropertyGraph(name="bare")
+        g.add_vertex(1, "V")
+        clone = graph_from_dict(graph_to_dict(g))
+        assert clone.schema is None
+        assert clone.has_vertex(1)
+
+
+class TestFileRoundTrip:
+    def test_json_file_round_trip(self, small_graph, tmp_path):
+        path = save_graph_json(small_graph, tmp_path / "g.json")
+        loaded = load_graph_json(path)
+        assert loaded.num_vertices == small_graph.num_vertices
+        assert loaded.vertex("f1").get("path") == "/data/a"
+
+    def test_edge_list_round_trip(self, small_graph, tmp_path):
+        vp, ep = save_edge_list(small_graph, tmp_path / "v.csv", tmp_path / "e.csv")
+        loaded = load_edge_list(vp, ep, name="reloaded")
+        assert loaded.num_vertices == 2
+        assert loaded.num_edges == 1
+        assert next(loaded.edges()).get("bytes") == 1024
+
+    def test_missing_edge_list_raises(self, tmp_path):
+        with pytest.raises(GraphError):
+            load_edge_list(tmp_path / "nope_v.csv", tmp_path / "nope_e.csv")
+
+
+class TestEdgePrefix:
+    def test_prefix_smaller_than_graph(self):
+        g = from_edge_tuples([(i, i + 1) for i in range(10)])
+        prefix = edge_prefix(g, 3)
+        assert prefix.num_edges == 3
+        assert prefix.num_vertices == 4
+
+    def test_prefix_larger_than_graph_keeps_all(self):
+        g = from_edge_tuples([(0, 1), (1, 2)])
+        prefix = edge_prefix(g, 100)
+        assert prefix.num_edges == 2
+
+    def test_prefix_zero(self):
+        g = from_edge_tuples([(0, 1)])
+        assert edge_prefix(g, 0).num_edges == 0
+
+    def test_negative_prefix_raises(self):
+        with pytest.raises(GraphError):
+            edge_prefix(from_edge_tuples([(0, 1)]), -1)
+
+
+class TestFromEdgeTuples:
+    def test_builds_homogeneous_graph(self):
+        g = from_edge_tuples([("a", "b"), ("b", "c")], vertex_type="Page", label="LINKS")
+        assert g.count_vertices("Page") == 3
+        assert g.count_edges("LINKS") == 2

@@ -1,0 +1,195 @@
+"""Unit tests for the property graph data model."""
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphError, SchemaError, VertexNotFoundError
+from repro.graph import PropertyGraph, provenance_schema
+
+
+@pytest.fixture
+def lineage_graph() -> PropertyGraph:
+    """Small job/file lineage graph mirroring Fig. 3(a)."""
+    g = PropertyGraph(name="lineage")
+    for job in ("j1", "j2", "j3"):
+        g.add_vertex(job, "Job", cpu=10.0)
+    for file_id in ("f1", "f2", "f3", "f4"):
+        g.add_vertex(file_id, "File")
+    g.add_edge("j1", "f1", "WRITES_TO")
+    g.add_edge("j1", "f2", "WRITES_TO")
+    g.add_edge("f1", "j2", "IS_READ_BY")
+    g.add_edge("f2", "j3", "IS_READ_BY")
+    g.add_edge("j2", "f3", "WRITES_TO")
+    g.add_edge("j3", "f4", "WRITES_TO")
+    return g
+
+
+class TestVertices:
+    def test_add_and_lookup(self, lineage_graph):
+        vertex = lineage_graph.vertex("j1")
+        assert vertex.type == "Job"
+        assert vertex.get("cpu") == 10.0
+        assert vertex["cpu"] == 10.0
+        assert "cpu" in vertex
+
+    def test_counts_by_type(self, lineage_graph):
+        assert lineage_graph.count_vertices("Job") == 3
+        assert lineage_graph.count_vertices("File") == 4
+        assert lineage_graph.count_vertices() == 7
+
+    def test_vertex_ids_by_type(self, lineage_graph):
+        assert set(lineage_graph.vertex_ids("Job")) == {"j1", "j2", "j3"}
+
+    def test_vertex_types(self, lineage_graph):
+        assert set(lineage_graph.vertex_types()) == {"Job", "File"}
+
+    def test_missing_vertex_raises(self, lineage_graph):
+        with pytest.raises(VertexNotFoundError):
+            lineage_graph.vertex("nope")
+
+    def test_readding_merges_properties(self, lineage_graph):
+        lineage_graph.add_vertex("j1", "Job", pipeline="etl")
+        vertex = lineage_graph.vertex("j1")
+        assert vertex.get("pipeline") == "etl"
+        assert vertex.get("cpu") == 10.0
+
+    def test_readding_with_different_type_raises(self, lineage_graph):
+        with pytest.raises(GraphError):
+            lineage_graph.add_vertex("j1", "File")
+
+    def test_remove_vertex_drops_incident_edges(self, lineage_graph):
+        before = lineage_graph.num_edges
+        lineage_graph.remove_vertex("f1")
+        assert not lineage_graph.has_vertex("f1")
+        assert lineage_graph.num_edges == before - 2
+
+    def test_has_vertex(self, lineage_graph):
+        assert lineage_graph.has_vertex("j1")
+        assert not lineage_graph.has_vertex("zzz")
+
+
+class TestEdges:
+    def test_add_edge_requires_endpoints(self):
+        g = PropertyGraph()
+        g.add_vertex("a", "T")
+        with pytest.raises(VertexNotFoundError):
+            g.add_edge("a", "missing", "X")
+
+    def test_edge_lookup_and_other(self, lineage_graph):
+        edge = next(lineage_graph.out_edges("j1", "WRITES_TO"))
+        assert edge.other("j1") in {"f1", "f2"}
+        assert edge.other(edge.target) == "j1"
+        with pytest.raises(GraphError):
+            edge.other("j3")
+
+    def test_missing_edge_raises(self, lineage_graph):
+        with pytest.raises(EdgeNotFoundError):
+            lineage_graph.edge(999)
+
+    def test_count_by_label(self, lineage_graph):
+        assert lineage_graph.count_edges("WRITES_TO") == 4
+        assert lineage_graph.count_edges("IS_READ_BY") == 2
+        assert lineage_graph.count_edges() == 6
+
+    def test_parallel_edges_allowed(self, lineage_graph):
+        lineage_graph.add_edge("j1", "f1", "WRITES_TO")
+        assert lineage_graph.count_edges("WRITES_TO") == 5
+
+    def test_has_edge(self, lineage_graph):
+        assert lineage_graph.has_edge("j1", "f1")
+        assert lineage_graph.has_edge("j1", "f1", "WRITES_TO")
+        assert not lineage_graph.has_edge("j1", "f1", "IS_READ_BY")
+        assert not lineage_graph.has_edge("f4", "j1")
+
+    def test_remove_edge(self, lineage_graph):
+        edge = next(lineage_graph.out_edges("j1"))
+        lineage_graph.remove_edge(edge.id)
+        assert lineage_graph.out_degree("j1") == 1
+
+    def test_edge_labels(self, lineage_graph):
+        assert set(lineage_graph.edge_labels()) == {"WRITES_TO", "IS_READ_BY"}
+
+
+class TestTraversal:
+    def test_successors_and_predecessors(self, lineage_graph):
+        assert set(lineage_graph.successors("j1")) == {"f1", "f2"}
+        assert set(lineage_graph.predecessors("j2")) == {"f1"}
+
+    def test_degrees(self, lineage_graph):
+        assert lineage_graph.out_degree("j1") == 2
+        assert lineage_graph.in_degree("j1") == 0
+        assert lineage_graph.degree("f1") == 2
+
+    def test_degree_by_label(self, lineage_graph):
+        assert lineage_graph.out_degree("j1", "WRITES_TO") == 2
+        assert lineage_graph.out_degree("j1", "IS_READ_BY") == 0
+
+    def test_neighbors(self, lineage_graph):
+        assert lineage_graph.neighbors("f1") == {"j1", "j2"}
+
+    def test_sources_and_sinks(self, lineage_graph):
+        assert set(lineage_graph.sources("Job")) == {"j1"}
+        assert set(lineage_graph.sinks("File")) == {"f3", "f4"}
+
+    def test_traversal_of_missing_vertex_raises(self, lineage_graph):
+        with pytest.raises(VertexNotFoundError):
+            list(lineage_graph.out_edges("nope"))
+        with pytest.raises(VertexNotFoundError):
+            lineage_graph.in_degree("nope")
+
+
+class TestSchemaIntegration:
+    def test_validation_rejects_unknown_vertex_type(self):
+        g = PropertyGraph(schema=provenance_schema(), validate=True)
+        with pytest.raises(SchemaError):
+            g.add_vertex("x", "Spaceship")
+
+    def test_validation_rejects_illegal_edge(self):
+        g = PropertyGraph(schema=provenance_schema(), validate=True)
+        g.add_vertex("j1", "Job")
+        g.add_vertex("j2", "Job")
+        with pytest.raises(SchemaError):
+            g.add_edge("j1", "j2", "WRITES_TO")
+
+    def test_validation_accepts_legal_edge(self):
+        g = PropertyGraph(schema=provenance_schema(), validate=True)
+        g.add_vertex("j1", "Job")
+        g.add_vertex("f1", "File")
+        g.add_edge("j1", "f1", "WRITES_TO")
+        assert g.num_edges == 1
+
+    def test_infer_schema_matches_data(self, lineage_graph):
+        schema = lineage_graph.infer_schema()
+        assert schema.has_edge_type("Job", "File", "WRITES_TO")
+        assert schema.has_edge_type("File", "Job", "IS_READ_BY")
+        assert not schema.has_edge_type("Job", "Job")
+
+    def test_check_against_schema_reports_violations(self, lineage_graph):
+        schema = provenance_schema()
+        lineage_graph.add_vertex("x", "Alien")
+        assert any("Alien" in v for v in lineage_graph.check_against_schema(schema))
+
+    def test_check_against_schema_clean(self, lineage_graph):
+        assert lineage_graph.check_against_schema(provenance_schema()) == []
+
+    def test_check_without_schema_raises(self, lineage_graph):
+        with pytest.raises(GraphError):
+            lineage_graph.check_against_schema()
+
+
+class TestBulkAndCopy:
+    def test_bulk_insert(self):
+        g = PropertyGraph()
+        assert g.add_vertices([("a", "T"), ("b", "T")]) == 2
+        assert g.add_edges([("a", "b", "X")]) == 1
+        assert g.num_vertices == 2 and g.num_edges == 1
+
+    def test_copy_is_independent(self, lineage_graph):
+        clone = lineage_graph.copy()
+        clone.add_vertex("new", "Job")
+        assert not lineage_graph.has_vertex("new")
+        assert clone.num_edges == lineage_graph.num_edges
+
+    def test_estimated_footprint_grows_with_size(self, lineage_graph):
+        small = PropertyGraph()
+        small.add_vertex("a", "T")
+        assert lineage_graph.estimated_footprint() > small.estimated_footprint()

@@ -1,0 +1,168 @@
+"""Unit tests for graph schemas and schema path enumeration."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.graph import GraphSchema, dblp_schema, homogeneous_schema, provenance_schema
+
+
+class TestSchemaConstruction:
+    def test_from_edges(self):
+        schema = GraphSchema.from_edges([
+            ("Job", "WRITES_TO", "File"),
+            ("File", "IS_READ_BY", "Job"),
+        ])
+        assert set(schema.vertex_types) == {"Job", "File"}
+        assert len(schema.edge_types) == 2
+
+    def test_add_vertex_type_metadata(self):
+        schema = GraphSchema()
+        schema.add_vertex_type("Job", description="batch job")
+        assert schema.vertex_type_metadata("Job")["description"] == "batch job"
+
+    def test_unknown_vertex_metadata_raises(self):
+        schema = GraphSchema()
+        with pytest.raises(SchemaError):
+            schema.vertex_type_metadata("Nope")
+
+    def test_empty_names_rejected(self):
+        schema = GraphSchema()
+        with pytest.raises(SchemaError):
+            schema.add_vertex_type("")
+        with pytest.raises(SchemaError):
+            schema.add_edge_type("A", "B", "")
+
+    def test_duplicate_edge_type_is_idempotent(self):
+        schema = GraphSchema()
+        first = schema.add_edge_type("A", "B", "X")
+        second = schema.add_edge_type("A", "B", "X")
+        assert first is second
+        assert len(schema.edge_types) == 1
+
+    def test_contains_iter_len(self):
+        schema = provenance_schema()
+        assert "Job" in schema
+        assert "File" in schema
+        assert len(schema) == len(list(schema))
+
+
+class TestSchemaQueries:
+    def test_edge_types_between(self):
+        schema = provenance_schema()
+        labels = [et.label for et in schema.edge_types_between("Job", "File")]
+        assert labels == ["WRITES_TO"]
+
+    def test_has_edge_type_without_label(self):
+        schema = provenance_schema()
+        assert schema.has_edge_type("Job", "File")
+        assert not schema.has_edge_type("File", "File")
+
+    def test_outgoing_incoming(self):
+        schema = provenance_schema()
+        out_labels = {et.label for et in schema.outgoing_edge_types("Job")}
+        assert "WRITES_TO" in out_labels and "SPAWNS" in out_labels
+        in_labels = {et.label for et in schema.incoming_edge_types("Job")}
+        assert "IS_READ_BY" in in_labels and "SUBMITS" in in_labels
+
+    def test_source_types(self):
+        schema = provenance_schema(include_tasks=False)
+        assert set(schema.source_types()) == {"Job", "File"}
+
+    def test_labels_distinct(self):
+        schema = dblp_schema()
+        labels = schema.labels()
+        assert len(labels) == len(set(labels))
+        assert "WRITES" in labels
+
+    def test_reachable_types(self):
+        schema = provenance_schema()
+        reachable = schema.reachable_types("User")
+        assert {"Job", "File", "Task"} <= reachable
+
+    def test_reachable_types_hop_limited(self):
+        schema = provenance_schema()
+        assert schema.reachable_types("User", max_hops=1) == {"Job"}
+
+    def test_reachable_unknown_type_raises(self):
+        with pytest.raises(SchemaError):
+            provenance_schema().reachable_types("Spaceship")
+
+
+class TestSchemaPaths:
+    def test_two_hop_job_to_job_exists(self):
+        schema = provenance_schema(include_tasks=False)
+        assert schema.has_k_hop_path("Job", "Job", 2)
+        assert schema.has_k_hop_path("File", "File", 2)
+
+    def test_odd_hop_job_to_job_infeasible(self):
+        # In the job/file lineage schema only even-length paths connect
+        # same-type vertices (§IV-A2).
+        schema = provenance_schema(include_tasks=False)
+        assert not schema.has_k_hop_path("Job", "Job", 1)
+        assert not schema.has_k_hop_path("Job", "Job", 3)
+
+    def test_one_hop_paths_equal_edge_types(self):
+        schema = provenance_schema(include_tasks=False)
+        assert len(schema.k_hop_paths(1)) == len(schema.edge_types)
+
+    def test_path_edge_sequence_is_consistent(self):
+        schema = provenance_schema(include_tasks=False)
+        for path in schema.k_hop_paths(2):
+            assert path[0].target == path[1].source
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(SchemaError):
+            provenance_schema().k_hop_paths(0)
+
+    def test_homogeneous_schema_has_paths_of_all_lengths(self):
+        schema = homogeneous_schema()
+        for k in (1, 2, 3, 5):
+            assert schema.has_k_hop_path("Vertex", "Vertex", k)
+
+    def test_walk_mode_admits_longer_same_type_connectors(self):
+        # §IV-B enumerates job-to-job connectors for k = 2, 4, 6, 8, 10; that
+        # requires walk semantics over the type graph.
+        schema = provenance_schema(include_tasks=False)
+        for k in (2, 4, 6, 8, 10):
+            assert schema.has_k_hop_path("Job", "Job", k, mode="walk")
+
+    def test_trail_mode_matches_listing2_semantics(self):
+        schema = provenance_schema(include_tasks=False)
+        # Listing 2's trail check allows the 2-hop Job->File->Job path ...
+        assert schema.has_k_hop_path("Job", "Job", 2, mode="trail")
+        # ... but rejects revisiting a type mid-path (4-hop job-to-job).
+        assert not schema.has_k_hop_path("Job", "Job", 4, mode="trail")
+
+    def test_simple_mode_is_strictest(self):
+        schema = provenance_schema(include_tasks=False)
+        assert not schema.has_k_hop_path("Job", "Job", 2, mode="simple")
+        assert schema.has_k_hop_path("Job", "File", 1, mode="simple")
+
+    def test_walk_mode_explores_at_least_as_much_as_trail(self):
+        schema = provenance_schema()
+        for k in (2, 3, 4):
+            assert len(schema.k_hop_paths(k, mode="walk")) >= len(
+                schema.k_hop_paths(k, mode="trail"))
+
+    def test_max_paths_cap_and_count(self):
+        schema = provenance_schema()
+        assert len(schema.k_hop_paths(3, max_paths=2)) <= 2
+        assert schema.count_k_hop_paths(2) == len(schema.k_hop_paths(2))
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(SchemaError):
+            provenance_schema().k_hop_paths(2, mode="teleport")
+
+
+class TestSchemaSerialization:
+    def test_round_trip(self):
+        schema = provenance_schema()
+        clone = GraphSchema.from_dict(schema.to_dict())
+        assert set(clone.vertex_types) == set(schema.vertex_types)
+        assert len(clone.edge_types) == len(schema.edge_types)
+        assert clone.has_edge_type("Job", "File", "WRITES_TO")
+
+    def test_to_dict_is_json_like(self):
+        payload = dblp_schema().to_dict()
+        assert isinstance(payload["vertex_types"], list)
+        assert all(isinstance(e, dict) for e in payload["edge_types"])

@@ -1,0 +1,188 @@
+"""Unit tests for degree statistics, CCDF, power-law fit, and path counting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    PropertyGraph,
+    compute_statistics,
+    count_k_length_paths,
+    degree_ccdf,
+    fit_power_law,
+    out_degree_histogram,
+    percentile,
+    summarize_counts_by_type,
+)
+
+
+def star_graph(fan_out: int) -> PropertyGraph:
+    """One hub writing to ``fan_out`` files."""
+    g = PropertyGraph(name="star")
+    g.add_vertex("hub", "Job")
+    for i in range(fan_out):
+        g.add_vertex(f"f{i}", "File")
+        g.add_edge("hub", f"f{i}", "WRITES_TO")
+    return g
+
+
+def chain_graph(length: int) -> PropertyGraph:
+    g = PropertyGraph(name="chain")
+    for i in range(length + 1):
+        g.add_vertex(i, "Vertex")
+    for i in range(length):
+        g.add_edge(i, i + 1, "LINK")
+    return g
+
+
+class TestPercentile:
+    def test_median_of_odd_sequence(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_hundredth_is_max(self):
+        assert percentile([7, 1, 9, 3], 100) == 9
+
+    def test_zeroth_is_min(self):
+        assert percentile([7, 1, 9, 3], 0) == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50),
+           st.floats(min_value=0, max_value=100))
+    def test_percentile_is_an_observed_value(self, values, q):
+        assert percentile(values, q) in values
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=30))
+    def test_percentile_monotone_in_q(self, values):
+        qs = [0, 25, 50, 75, 100]
+        results = [percentile(values, q) for q in qs]
+        assert results == sorted(results)
+
+
+class TestStatistics:
+    def test_star_graph_summaries(self):
+        stats = compute_statistics(star_graph(10))
+        assert stats.total_vertices == 11
+        assert stats.total_edges == 10
+        assert stats.per_type["Job"].max_out_degree == 10
+        assert stats.per_type["File"].max_out_degree == 0
+        assert stats.vertex_count("Job") == 1
+        assert stats.vertex_count("File") == 10
+
+    def test_overall_pseudo_type(self):
+        stats = compute_statistics(star_graph(4))
+        assert stats.degree_at(100) == 4.0
+        assert stats.degree_at(50) == 0.0  # most vertices are leaves
+
+    def test_degree_at_unknown_type_is_zero(self):
+        stats = compute_statistics(star_graph(3))
+        assert stats.degree_at(95, "Task") == 0.0
+
+    def test_source_types(self):
+        stats = compute_statistics(star_graph(3))
+        assert stats.source_types() == ["Job"]
+
+    def test_degree_at_falls_back_to_max(self):
+        stats = compute_statistics(star_graph(5), percentiles=(50,))
+        assert stats.per_type["Job"].degree_at(95) == 5.0
+
+    def test_histogram(self):
+        hist = out_degree_histogram(star_graph(6))
+        assert hist[6] == 1
+        assert hist[0] == 6
+
+
+class TestCCDFAndPowerLaw:
+    def test_ccdf_is_non_increasing(self):
+        g = star_graph(20)
+        points = degree_ccdf(g)
+        counts = [c for _, c in points]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_ccdf_directions(self):
+        g = star_graph(5)
+        assert degree_ccdf(g, direction="out") != degree_ccdf(g, direction="in")
+        with pytest.raises(ValueError):
+            degree_ccdf(g, direction="sideways")
+
+    def test_ccdf_empty_graph(self):
+        assert degree_ccdf(PropertyGraph()) == []
+
+    def test_power_law_fit_on_synthetic_power_law(self):
+        # Build a graph whose out-degree histogram follows degree^-2 roughly.
+        g = PropertyGraph()
+        vid = 0
+        for degree, count in [(1, 1000), (2, 250), (4, 60), (8, 16), (16, 4)]:
+            for _ in range(count):
+                hub = f"h{vid}"
+                g.add_vertex(hub, "V")
+                vid += 1
+                for j in range(degree):
+                    leaf = f"l{vid}_{j}"
+                    g.add_vertex(leaf, "V")
+                    g.add_edge(hub, leaf, "LINK")
+        exponent, r_squared = fit_power_law(degree_ccdf(g))
+        assert exponent > 0.5
+        assert r_squared > 0.8
+
+    def test_power_law_fit_degenerate(self):
+        assert fit_power_law([]) == (0.0, 0.0)
+        assert fit_power_law([(1, 5)]) == (0.0, 0.0)
+
+
+class TestPathCounting:
+    def test_chain_has_one_k_path_per_window(self):
+        g = chain_graph(5)
+        assert count_k_length_paths(g, 1) == 5
+        assert count_k_length_paths(g, 2) == 4
+        assert count_k_length_paths(g, 5) == 1
+        assert count_k_length_paths(g, 6) == 0
+
+    def test_star_two_hop_paths(self):
+        g = star_graph(5)
+        assert count_k_length_paths(g, 2) == 0  # leaves have no outgoing edges
+
+    def test_typed_endpoints(self):
+        g = PropertyGraph()
+        g.add_vertex("j1", "Job")
+        g.add_vertex("f1", "File")
+        g.add_vertex("j2", "Job")
+        g.add_edge("j1", "f1", "WRITES_TO")
+        g.add_edge("f1", "j2", "IS_READ_BY")
+        assert count_k_length_paths(g, 2, source_type="Job", target_type="Job") == 1
+        assert count_k_length_paths(g, 2, source_type="File") == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            count_k_length_paths(chain_graph(2), 0)
+
+    def test_max_count_cap(self):
+        g = chain_graph(10)
+        assert count_k_length_paths(g, 1, max_count=3) <= 3
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_cycle_graph_path_count(self, k):
+        # In a directed cycle of n vertices, every vertex starts exactly one
+        # k-length walk, so the count is always n.
+        n = 7
+        g = PropertyGraph()
+        for i in range(n):
+            g.add_vertex(i, "V")
+        for i in range(n):
+            g.add_edge(i, (i + 1) % n, "LINK")
+        assert count_k_length_paths(g, k) == n
+
+
+class TestSummaries:
+    def test_counts_by_type(self):
+        g = star_graph(3)
+        summary = summarize_counts_by_type(g)
+        assert summary["Job"] == {"vertices": 1, "out_edges": 3}
+        assert summary["File"] == {"vertices": 3, "out_edges": 0}

@@ -1,0 +1,206 @@
+"""Unit tests for graph transformation primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    PropertyGraph,
+    contract_paths,
+    enumerate_k_hop_paths,
+    filter_graph,
+    group_vertices,
+    induced_subgraph_by_vertex_types,
+    remove_edges_by_label,
+    remove_vertices_by_type,
+    reverse_graph,
+    union,
+)
+
+
+@pytest.fixture
+def fig3_graph() -> PropertyGraph:
+    """The data lineage graph of Fig. 3(a): 3 jobs, 4 files."""
+    g = PropertyGraph(name="fig3")
+    for job in ("j1", "j2", "j3"):
+        g.add_vertex(job, "Job", cpu=5.0)
+    for f in ("f1", "f2", "f3", "f4"):
+        g.add_vertex(f, "File", bytes=100)
+    g.add_edge("j1", "f1", "w")
+    g.add_edge("j1", "f2", "w")
+    g.add_edge("f1", "j2", "r")
+    g.add_edge("f2", "j3", "r")
+    g.add_edge("j2", "f3", "w")
+    g.add_edge("j3", "f4", "w")
+    return g
+
+
+class TestFilters:
+    def test_induced_subgraph_keeps_only_selected_types(self, fig3_graph):
+        jobs_only = induced_subgraph_by_vertex_types(fig3_graph, ["Job"])
+        assert jobs_only.num_vertices == 3
+        assert jobs_only.num_edges == 0  # no job-job edges in the raw graph
+
+    def test_filter_edge_predicate(self, fig3_graph):
+        writes = filter_graph(fig3_graph, edge_predicate=lambda e: e.label == "w")
+        assert writes.count_edges("w") == 4
+        assert writes.count_edges("r") == 0
+        assert writes.num_vertices == fig3_graph.num_vertices
+
+    def test_remove_vertices_by_type(self, fig3_graph):
+        no_files = remove_vertices_by_type(fig3_graph, ["File"])
+        assert no_files.count_vertices("File") == 0
+        assert no_files.num_edges == 0
+
+    def test_remove_edges_by_label(self, fig3_graph):
+        no_reads = remove_edges_by_label(fig3_graph, ["r"])
+        assert no_reads.count_edges("r") == 0
+        assert no_reads.num_vertices == fig3_graph.num_vertices
+
+    def test_summarizer_invariant_sizes_shrink(self, fig3_graph):
+        filtered = filter_graph(fig3_graph, vertex_predicate=lambda v: v.type == "Job")
+        assert filtered.num_vertices <= fig3_graph.num_vertices
+        assert filtered.num_edges <= fig3_graph.num_edges
+
+
+class TestPathEnumeration:
+    def test_two_hop_job_to_job_paths(self, fig3_graph):
+        paths = enumerate_k_hop_paths(
+            fig3_graph, 2,
+            source_predicate=lambda v: v.type == "Job",
+            target_predicate=lambda v: v.type == "Job",
+        )
+        assert set(paths) == {("j1", "f1", "j2"), ("j1", "f2", "j3")}
+
+    def test_two_hop_file_to_file_paths(self, fig3_graph):
+        paths = enumerate_k_hop_paths(
+            fig3_graph, 2,
+            source_predicate=lambda v: v.type == "File",
+            target_predicate=lambda v: v.type == "File",
+        )
+        assert set(paths) == {("f1", "j2", "f3"), ("f2", "j3", "f4")}
+
+    def test_label_restriction(self, fig3_graph):
+        paths = enumerate_k_hop_paths(fig3_graph, 2, edge_labels=["w"])
+        assert paths == []  # a 'w' edge is never followed by another 'w' edge
+
+    def test_simple_paths_avoid_cycles(self):
+        g = PropertyGraph()
+        g.add_vertex("a", "V")
+        g.add_vertex("b", "V")
+        g.add_edge("a", "b", "L")
+        g.add_edge("b", "a", "L")
+        simple = enumerate_k_hop_paths(g, 2, simple=True)
+        walks = enumerate_k_hop_paths(g, 2, simple=False)
+        assert simple == []
+        assert set(walks) == {("a", "b", "a"), ("b", "a", "b")}
+
+    def test_max_paths_cap(self, fig3_graph):
+        paths = enumerate_k_hop_paths(fig3_graph, 1, max_paths=2)
+        assert len(paths) == 2
+
+    def test_invalid_k_raises(self, fig3_graph):
+        with pytest.raises(GraphError):
+            enumerate_k_hop_paths(fig3_graph, 0)
+
+
+class TestContraction:
+    def test_job_to_job_connector_matches_fig3c(self, fig3_graph):
+        paths = enumerate_k_hop_paths(
+            fig3_graph, 2,
+            source_predicate=lambda v: v.type == "Job",
+            target_predicate=lambda v: v.type == "Job",
+        )
+        connector = contract_paths(fig3_graph, paths, "JOB_TO_JOB")
+        assert set(connector.vertex_ids()) == {"j1", "j2", "j3"}
+        assert connector.has_edge("j1", "j2", "JOB_TO_JOB")
+        assert connector.has_edge("j1", "j3", "JOB_TO_JOB")
+        assert connector.num_edges == 2
+
+    def test_contraction_preserves_endpoint_properties(self, fig3_graph):
+        connector = contract_paths(fig3_graph, [("j1", "f1", "j2")], "C")
+        assert connector.vertex("j1").get("cpu") == 5.0
+
+    def test_contraction_dedup_counts_paths(self):
+        g = PropertyGraph()
+        g.add_vertex("a", "V")
+        g.add_vertex("m1", "V")
+        g.add_vertex("m2", "V")
+        g.add_vertex("b", "V")
+        connector = contract_paths(g, [("a", "m1", "b"), ("a", "m2", "b")], "C")
+        assert connector.num_edges == 1
+        edge = next(connector.edges())
+        assert edge.get("path_count") == 2
+
+    def test_contraction_without_dedup(self):
+        g = PropertyGraph()
+        for v in ("a", "m1", "m2", "b"):
+            g.add_vertex(v, "V")
+        connector = contract_paths(g, [("a", "m1", "b"), ("a", "m2", "b")], "C",
+                                   deduplicate=False)
+        assert connector.num_edges == 2
+
+    def test_short_path_rejected(self, fig3_graph):
+        with pytest.raises(GraphError):
+            contract_paths(fig3_graph, [("j1",)], "C")
+
+
+class TestGrouping:
+    def test_group_files_into_supervertex(self, fig3_graph):
+        grouped = group_vertices(
+            fig3_graph,
+            key=lambda v: "files" if v.type == "File" else None,
+            supervertex_type="FileGroup",
+            aggregators={"bytes": sum},
+        )
+        assert grouped.count_vertices("FileGroup") == 1
+        supervertex = next(grouped.vertices("FileGroup"))
+        assert supervertex.get("member_count") == 4
+        assert supervertex.get("bytes") == 400
+        # Jobs remain, edges are redirected to the super-vertex.
+        assert grouped.count_vertices("Job") == 3
+        assert grouped.has_edge("j1", "group::files")
+
+    def test_group_merges_parallel_edges(self, fig3_graph):
+        grouped = group_vertices(
+            fig3_graph, key=lambda v: v.type, supervertex_type="Group")
+        # All jobs and all files merge into two super-vertices.
+        assert grouped.num_vertices == 2
+        job_to_file = [e for e in grouped.edges() if e.source == "group::Job"]
+        assert len(job_to_file) == 1
+        assert job_to_file[0].get("edge_count") == 4
+
+
+class TestReverseAndUnion:
+    def test_reverse_swaps_directions(self, fig3_graph):
+        reversed_graph = reverse_graph(fig3_graph)
+        assert reversed_graph.has_edge("f1", "j1", "w")
+        assert not reversed_graph.has_edge("j1", "f1", "w")
+        assert reversed_graph.num_edges == fig3_graph.num_edges
+
+    def test_union_combines_edges(self, fig3_graph):
+        extra = PropertyGraph()
+        extra.add_vertex("j1", "Job")
+        extra.add_vertex("j9", "Job")
+        extra.add_edge("j1", "j9", "NEW")
+        combined = union(fig3_graph, extra)
+        assert combined.has_vertex("j9")
+        assert combined.num_edges == fig3_graph.num_edges + 1
+
+
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=1, max_value=4))
+@settings(max_examples=20, deadline=None)
+def test_contract_paths_vertex_subset_property(chain_length, k):
+    """Connector vertices are always a subset of the original graph's vertices."""
+    g = PropertyGraph()
+    for i in range(chain_length + 1):
+        g.add_vertex(i, "V")
+    for i in range(chain_length):
+        g.add_edge(i, i + 1, "L")
+    paths = enumerate_k_hop_paths(g, min(k, chain_length))
+    connector = contract_paths(g, paths, "C")
+    assert set(connector.vertex_ids()) <= set(g.vertex_ids())
+    # Every contracted edge corresponds to at least one real path.
+    for edge in connector.edges():
+        assert edge.get("path_count", 1) >= 1

@@ -1,0 +1,257 @@
+"""Unit tests for the SLD resolution engine and builtins.
+
+Includes a test that runs the paper's Listing 2 ``schemaKHopPath`` rule
+verbatim (translated to the term DSL) against the provenance schema facts.
+"""
+
+import pytest
+
+from repro.errors import InferenceError, UnknownPredicateError
+from repro.inference import (
+    InferenceEngine,
+    RuleDatabase,
+    atom,
+    fact,
+    neg,
+    rule,
+    struct,
+    var,
+)
+
+
+@pytest.fixture
+def family_engine() -> InferenceEngine:
+    """Classic ancestor example exercising recursion and backtracking."""
+    engine = InferenceEngine()
+    engine.assert_fact("parent", "alice", "bob")
+    engine.assert_fact("parent", "bob", "carol")
+    engine.assert_fact("parent", "carol", "dave")
+    engine.assert_rule(rule(
+        struct("ancestor", var("X"), var("Y")),
+        struct("parent", var("X"), var("Y")),
+    ))
+    engine.assert_rule(rule(
+        struct("ancestor", var("X"), var("Y")),
+        struct("parent", var("X"), var("Z")),
+        struct("ancestor", var("Z"), var("Y")),
+    ))
+    return engine
+
+
+class TestFactsAndRules:
+    def test_ground_query(self, family_engine):
+        assert family_engine.ask("parent", "alice", "bob")
+        assert not family_engine.ask("parent", "bob", "alice")
+
+    def test_variable_query(self, family_engine):
+        children = family_engine.query("parent", "alice", var("C"))
+        assert children == [{"C": "bob"}]
+
+    def test_recursive_rule(self, family_engine):
+        descendants = {s["Y"] for s in family_engine.query("ancestor", "alice", var("Y"))}
+        assert descendants == {"bob", "carol", "dave"}
+
+    def test_count_and_limit(self, family_engine):
+        assert family_engine.count("ancestor", var("X"), var("Y")) == 6
+        assert len(family_engine.query("ancestor", var("X"), var("Y"), limit=2)) == 2
+
+    def test_query_distinct(self):
+        engine = InferenceEngine()
+        engine.assert_fact("edge", "a", "b")
+        engine.assert_fact("edge", "a", "b")
+        assert len(engine.query("edge", "a", var("X"))) == 2
+        assert len(engine.query_distinct("edge", "a", var("X"))) == 1
+
+    def test_unknown_predicate_fails_silently_by_default(self):
+        assert not InferenceEngine().ask("nonexistent", 1)
+
+    def test_unknown_predicate_strict_mode_raises(self):
+        engine = InferenceEngine(strict=True)
+        with pytest.raises(UnknownPredicateError):
+            engine.ask("nonexistent", 1)
+
+    def test_depth_limit_catches_runaway_recursion(self):
+        engine = InferenceEngine(max_depth=50)
+        engine.assert_rule(rule(struct("loop", var("X")), struct("loop", var("X"))))
+        with pytest.raises(InferenceError):
+            engine.ask("loop", 1)
+
+    def test_consult_and_database_sharing(self):
+        db = RuleDatabase([fact("color", "red"), fact("color", "blue")])
+        engine = InferenceEngine(database=db)
+        assert engine.count("color", var("X")) == 2
+        engine.consult([fact("color", "green")])
+        assert engine.count("color", var("X")) == 3
+
+    def test_struct_goal_with_extra_args_rejected(self, family_engine):
+        with pytest.raises(InferenceError):
+            family_engine.ask(struct("parent", "alice", "bob"), "extra")
+
+
+class TestNegationAndControl:
+    def test_negation_as_failure(self, family_engine):
+        family_engine.assert_rule(rule(
+            struct("childless", var("X")),
+            struct("parent", var("_P"), var("X")),
+            neg(struct("parent", var("X"), var("_C"))),
+        ))
+        results = {s["X"] for s in family_engine.query("childless", var("X"))}
+        assert results == {"dave"}
+
+    def test_not_builtin_alias(self, family_engine):
+        assert family_engine.ask(struct("not", struct("parent", "dave", "alice")))
+        assert not family_engine.ask(struct("not", struct("parent", "alice", "bob")))
+
+    def test_disjunction(self):
+        engine = InferenceEngine()
+        engine.assert_fact("a", 1)
+        engine.assert_fact("b", 2)
+        goal = struct(";", struct("a", var("X")), struct("b", var("X")))
+        assert {s["X"] for s in engine.query(goal)} == {1, 2}
+
+    def test_conjunction_goal(self):
+        engine = InferenceEngine()
+        engine.assert_fact("a", 1)
+        engine.assert_fact("b", 1)
+        engine.assert_fact("b", 2)
+        goal = struct(",", struct("a", var("X")), struct("b", var("X")))
+        assert engine.query(goal) == [{"X": 1}]
+
+    def test_true_and_fail(self):
+        engine = InferenceEngine()
+        assert engine.ask(struct("true"))
+        assert not engine.ask(struct("fail"))
+
+
+class TestArithmeticBuiltins:
+    def test_is_evaluates_expressions(self):
+        engine = InferenceEngine()
+        goal = struct("is", var("K"), struct("+", 1, struct("*", 2, 3)))
+        assert engine.query(goal) == [{"K": 7}]
+
+    def test_comparisons(self):
+        engine = InferenceEngine()
+        assert engine.ask(struct("<", 1, 2))
+        assert engine.ask(struct(">=", 5, 5))
+        assert not engine.ask(struct(">", 1, 2))
+        assert engine.ask(struct("=:=", struct("+", 2, 2), 4))
+        assert engine.ask(struct("=\\=", 3, 4))
+
+    def test_unbound_arithmetic_raises(self):
+        engine = InferenceEngine()
+        with pytest.raises(InferenceError):
+            engine.ask(struct("is", var("X"), struct("+", var("Y"), 1)))
+
+    def test_unknown_operator_raises(self):
+        engine = InferenceEngine()
+        with pytest.raises(InferenceError):
+            engine.ask(struct("is", var("X"), struct("bitwise_xor", 1, 2)))
+
+    def test_between_generates_and_tests(self):
+        engine = InferenceEngine()
+        values = [s["K"] for s in engine.query(struct("between", 2, 5, var("K")))]
+        assert values == [2, 3, 4, 5]
+        assert engine.ask(struct("between", 0, 8, 3))
+        assert not engine.ask(struct("between", 0, 8, 9))
+
+
+class TestListBuiltins:
+    def test_member(self):
+        engine = InferenceEngine()
+        values = [s["X"] for s in engine.query(struct("member", var("X"), ["a", "b"]))]
+        assert values == ["a", "b"]
+        assert engine.ask(struct("member", "a", ["a", "b"]))
+        assert not engine.ask(struct("member", "z", ["a", "b"]))
+
+    def test_member_requires_list(self):
+        with pytest.raises(InferenceError):
+            InferenceEngine().ask(struct("member", 1, "not-a-list"))
+
+    def test_length_and_append(self):
+        engine = InferenceEngine()
+        assert engine.query(struct("length", [1, 2, 3], var("N"))) == [{"N": 3}]
+        assert engine.query(struct("append", [1], [2, 3], var("L"))) == [{"L": [1, 2, 3]}]
+        splits = engine.query(struct("append", var("A"), var("B"), [1, 2]))
+        assert {tuple(s["A"]) for s in splits} == {(), (1,), (1, 2)}
+
+    def test_sort_and_msort(self):
+        engine = InferenceEngine()
+        assert engine.query(struct("sort", [3, 1, 2, 1], var("S"))) == [{"S": [1, 2, 3]}]
+        assert engine.query(struct("msort", [3, 1, 2, 1], var("S"))) == [{"S": [1, 1, 2, 3]}]
+
+    def test_findall_collects_all_solutions(self):
+        engine = InferenceEngine()
+        for city in ("rome", "paris", "tokyo"):
+            engine.assert_fact("city", city)
+        result = engine.query(struct("findall", var("C"), struct("city", var("C")), var("L")))
+        assert result == [{"L": ["rome", "paris", "tokyo"]}]
+
+    def test_findall_empty_goal_gives_empty_list(self):
+        engine = InferenceEngine()
+        result = engine.query(struct("findall", var("X"), struct("nothing", var("X")), var("L")))
+        assert result == [{"L": []}]
+
+    def test_setof_sorted_unique_and_fails_when_empty(self):
+        engine = InferenceEngine()
+        for n in (3, 1, 3, 2):
+            engine.assert_fact("num", n)
+        result = engine.query(struct("setof", var("X"), struct("num", var("X")), var("L")))
+        assert result == [{"L": [1, 2, 3]}]
+        assert not engine.ask(struct("setof", var("X"), struct("missing", var("X")), var("L")))
+
+    def test_forall(self):
+        engine = InferenceEngine()
+        engine.assert_fact("even", 2)
+        engine.assert_fact("even", 4)
+        assert engine.ask(struct(
+            "forall", struct("even", var("X")), struct("=:=", struct("mod", var("X"), 2), 0)))
+        engine.assert_fact("even", 3)
+        assert not engine.ask(struct(
+            "forall", struct("even", var("X")), struct("=:=", struct("mod", var("X"), 2), 0)))
+
+
+class TestListing2SchemaKHopPath:
+    """Run the paper's Listing 2 rule against provenance schema facts."""
+
+    @pytest.fixture
+    def engine(self) -> InferenceEngine:
+        engine = InferenceEngine()
+        engine.assert_fact("schemaEdge", "Job", "File", "WRITES_TO")
+        engine.assert_fact("schemaEdge", "File", "Job", "IS_READ_BY")
+        # schemaKHopPath(X,Y,K) :- schemaKHopPath(X,Y,K,[]).
+        engine.assert_rule(rule(
+            struct("schemaKHopPath", var("X"), var("Y"), var("K")),
+            struct("schemaKHopPath", var("X"), var("Y"), var("K"), []),
+        ))
+        # schemaKHopPath(X,Y,1,_) :- schemaEdge(X,Y,_).
+        engine.assert_rule(rule(
+            struct("schemaKHopPath", var("X"), var("Y"), 1, var("_T")),
+            struct("schemaEdge", var("X"), var("Y"), var("_L")),
+        ))
+        # schemaKHopPath(X,Y,K,Trail) :- schemaEdge(X,Z,_), not(member(Z,Trail)),
+        #     schemaKHopPath(Z,Y,K1,[X|Trail]), K is K1+1.
+        engine.assert_rule(rule(
+            struct("schemaKHopPath", var("X"), var("Y"), var("K"), var("Trail")),
+            struct("schemaEdge", var("X"), var("Z"), var("_L2")),
+            struct("not", struct("member", var("Z"), var("Trail"))),
+            struct("schemaKHopPath", var("Z"), var("Y"), var("K1"),
+                   struct(".", var("X"), var("Trail"))),
+            struct("is", var("K"), struct("+", var("K1"), 1)),
+        ))
+        return engine
+
+    def test_one_hop_paths(self, engine):
+        assert engine.ask("schemaKHopPath", "Job", "File", 1)
+        assert not engine.ask("schemaKHopPath", "Job", "Job", 1)
+
+    def test_two_hop_job_to_job(self, engine):
+        assert engine.ask("schemaKHopPath", "Job", "Job", 2)
+        assert engine.ask("schemaKHopPath", "File", "File", 2)
+
+    def test_trail_prevents_longer_cycles(self, engine):
+        # The literal Listing 2 semantics rejects revisiting a type mid-path.
+        assert not engine.ask("schemaKHopPath", "Job", "Job", 4)
+
+    def test_enumerating_k_values(self, engine):
+        ks = {s["K"] for s in engine.query("schemaKHopPath", "Job", var("Y"), var("K"))}
+        assert ks == {1, 2}

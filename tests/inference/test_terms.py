@@ -1,0 +1,109 @@
+"""Unit tests for logic terms and conversions."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.inference import (
+    Atom,
+    Struct,
+    Var,
+    atom,
+    fact,
+    from_python,
+    is_ground,
+    is_list_term,
+    iter_list,
+    make_list,
+    neg,
+    rule,
+    struct,
+    to_python,
+    var,
+    variables_in,
+)
+
+
+class TestConstruction:
+    def test_struct_indicator(self):
+        term = struct("edge", "a", "b")
+        assert term.indicator == ("edge", 2)
+        assert term.arity == 2
+
+    def test_struct_converts_python_args(self):
+        term = struct("f", 1, "x", [1, 2])
+        assert isinstance(term.args[0], Atom)
+        assert is_list_term(term.args[2])
+
+    def test_var_and_atom_identity(self):
+        assert var("X") == Var("X")
+        assert atom(3) == Atom(3)
+        assert var("X") != var("Y")
+
+    def test_fact_and_rule(self):
+        f = fact("vertex", "a")
+        assert f.is_fact
+        r = rule(struct("p", var("X")), struct("q", var("X")))
+        assert not r.is_fact
+        assert "p(X) :- q(X)" in str(r)
+
+    def test_neg_wraps_goal(self):
+        negated = neg(struct("edge", "a", "b"))
+        assert negated.functor == "\\+"
+
+
+class TestLists:
+    def test_make_and_iterate(self):
+        items = [atom(1), atom(2), atom(3)]
+        lst = make_list(items)
+        assert is_list_term(lst)
+        assert list(iter_list(lst)) == items
+
+    def test_empty_list(self):
+        lst = make_list([])
+        assert is_list_term(lst)
+        assert list(iter_list(lst)) == []
+
+    def test_non_list_is_not_list(self):
+        assert not is_list_term(struct("f", 1))
+        assert not is_list_term(var("X"))
+
+    def test_str_rendering(self):
+        assert str(make_list([atom(1), atom(2)])) == "[1, 2]"
+
+
+class TestConversions:
+    def test_round_trip_scalars(self):
+        assert to_python(from_python(42)) == 42
+        assert to_python(from_python("job")) == "job"
+
+    def test_round_trip_nested_lists(self):
+        value = [1, [2, 3], "x"]
+        assert to_python(from_python(value)) == value
+
+    def test_struct_to_python(self):
+        assert to_python(struct("f", 1, 2)) == ("f", [1, 2])
+
+    def test_terms_pass_through(self):
+        term = struct("f", var("X"))
+        assert from_python(term) is term
+
+    @given(st.recursive(
+        st.integers(-50, 50) | st.text(alphabet="abcxyz", max_size=5),
+        lambda children: st.lists(children, max_size=4),
+        max_leaves=10,
+    ))
+    def test_from_to_python_round_trip(self, value):
+        assert to_python(from_python(value)) == value
+
+    def test_empty_list_round_trip(self):
+        assert to_python(from_python([])) == []
+
+
+class TestVariables:
+    def test_variables_in_struct(self):
+        term = struct("f", var("X"), struct("g", var("Y"), atom(1)))
+        assert variables_in(term) == {var("X"), var("Y")}
+
+    def test_ground_detection(self):
+        assert is_ground(struct("f", 1, [2, 3]))
+        assert not is_ground(struct("f", var("X")))

@@ -1,0 +1,86 @@
+"""Unit tests and property tests for unification."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.inference import atom, from_python, resolve, struct, unify, var, walk
+
+
+class TestBasicUnification:
+    def test_atom_with_itself(self):
+        assert unify(atom("a"), atom("a")) == {}
+
+    def test_atom_mismatch(self):
+        assert unify(atom("a"), atom("b")) is None
+
+    def test_variable_binding(self):
+        subst = unify(var("X"), atom(3))
+        assert subst == {var("X"): atom(3)}
+
+    def test_struct_decomposition(self):
+        subst = unify(struct("edge", var("X"), "b"), struct("edge", "a", var("Y")))
+        assert resolve(var("X"), subst) == atom("a")
+        assert resolve(var("Y"), subst) == atom("b")
+
+    def test_functor_mismatch(self):
+        assert unify(struct("f", 1), struct("g", 1)) is None
+
+    def test_arity_mismatch(self):
+        assert unify(struct("f", 1), struct("f", 1, 2)) is None
+
+    def test_shared_variable_consistency(self):
+        # f(X, X) cannot unify with f(a, b).
+        assert unify(struct("f", var("X"), var("X")), struct("f", "a", "b")) is None
+        assert unify(struct("f", var("X"), var("X")), struct("f", "a", "a")) is not None
+
+    def test_variable_chains(self):
+        subst = unify(var("X"), var("Y"))
+        subst = unify(var("Y"), atom(7), subst)
+        assert resolve(var("X"), subst) == atom(7)
+
+    def test_existing_substitution_respected(self):
+        subst = {var("X"): atom(1)}
+        assert unify(var("X"), atom(2), subst) is None
+        assert unify(var("X"), atom(1), subst) == subst
+
+    def test_occurs_check(self):
+        cyclic = struct("f", var("X"))
+        assert unify(var("X"), cyclic, occurs_check=True) is None
+        assert unify(var("X"), cyclic, occurs_check=False) is not None
+
+    def test_walk_unbound(self):
+        assert walk(var("Z"), {}) == var("Z")
+
+
+# Hypothesis strategies for random ground terms.
+ground_terms = st.recursive(
+    st.integers(-20, 20).map(atom) | st.sampled_from(["a", "b", "c"]).map(atom),
+    lambda children: st.lists(children, min_size=1, max_size=3).map(
+        lambda args: struct("f", *args)
+    ),
+    max_leaves=8,
+)
+
+
+class TestUnificationProperties:
+    @given(ground_terms)
+    def test_reflexivity(self, term):
+        assert unify(term, term) is not None
+
+    @given(ground_terms, ground_terms)
+    def test_symmetry(self, left, right):
+        assert (unify(left, right) is None) == (unify(right, left) is None)
+
+    @given(ground_terms)
+    def test_variable_generalization(self, term):
+        # A fresh variable unifies with any ground term and resolves to it.
+        subst = unify(var("Fresh"), term)
+        assert subst is not None
+        assert resolve(var("Fresh"), subst) == term
+
+    @given(ground_terms, ground_terms)
+    def test_unifier_makes_terms_equal(self, left, right):
+        subst = unify(struct("pair", var("X"), left), struct("pair", right, var("Y")))
+        if subst is not None:
+            assert resolve(var("X"), subst) == right
+            assert resolve(var("Y"), subst) == left

@@ -1,0 +1,117 @@
+"""Integration tests: the full KASKADE pipeline over the synthetic datasets.
+
+These tests exercise enumerate → assess → select → materialize → rewrite →
+execute end to end, and check the result-equivalence and work-reduction
+properties that the paper's evaluation relies on.
+"""
+
+import pytest
+
+from repro import Kaskade
+from repro.analytics import blast_radius, descendants
+from repro.datasets import (
+    dataset,
+    dblp_graph,
+    summarized_provenance_graph,
+)
+from repro.graph import induced_subgraph_by_vertex_types
+from repro.workloads import prepare_dataset, run_workload
+
+BLAST_RADIUS = (
+    "MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File), "
+    "(q_f1:File)-[r*0..8]->(q_f2:File), "
+    "(q_f2:File)-[:IS_READ_BY]->(q_j2:Job) "
+    "RETURN q_j1 AS A, q_j2 AS B"
+)
+
+COAUTHORS = (
+    "MATCH (a1:Author)-[:WRITES]->(p:Article), (p:Article)-[:WRITTEN_BY]->(a2:Author) "
+    "RETURN a1, a2"
+)
+
+
+class TestProvenancePipeline:
+    @pytest.fixture(scope="class")
+    def kaskade(self):
+        graph = summarized_provenance_graph(num_jobs=80, seed=21)
+        kaskade = Kaskade(graph)
+        query = kaskade.parse(BLAST_RADIUS, name="Q1")
+        kaskade.select_views([query], budget_edges=10 * graph.num_edges)
+        return kaskade
+
+    def test_connector_selected_and_materialized(self, kaskade):
+        names = [view.definition.name for view in kaskade.catalog]
+        assert any("2hop" in name for name in names)
+
+    def test_rewrite_equivalence_and_speedup(self, kaskade):
+        query = kaskade.parse(BLAST_RADIUS, name="Q1")
+        baseline = kaskade.execute(query, use_views=False)
+        optimized = kaskade.execute(query)
+        assert optimized.used_view is not None
+        baseline_pairs = {(r["A"], r["B"]) for r in baseline.result.rows}
+        optimized_pairs = {(r["A"], r["B"]) for r in optimized.result.rows}
+        assert baseline_pairs == optimized_pairs
+        assert optimized.result.stats.total_work < baseline.result.stats.total_work
+
+    def test_connector_agrees_with_analytics_blast_radius(self, kaskade):
+        """The view-based query and the direct analytics traversal agree on
+        which jobs are downstream of which."""
+        query = kaskade.parse(BLAST_RADIUS, name="Q1")
+        optimized = kaskade.execute(query)
+        pairs_from_query = {(r["A"], r["B"]) for r in optimized.result.rows}
+        pairs_from_analytics = set()
+        for entry in blast_radius(kaskade.graph, max_hops=10):
+            for downstream in entry.downstream_jobs:
+                pairs_from_analytics.add((entry.job, downstream))
+        assert pairs_from_query == pairs_from_analytics
+
+    def test_second_query_reuses_materialized_view(self, kaskade):
+        short = kaskade.parse(
+            "MATCH (a:Job)-[:WRITES_TO]->(f:File), (f)-[:IS_READ_BY]->(b:Job) "
+            "RETURN a, b", name="direct-dependency")
+        outcome = kaskade.execute(short)
+        baseline = kaskade.execute(short, use_views=False)
+        assert {(r["a"], r["b"]) for r in outcome.result.rows} == {
+            (r["a"], r["b"]) for r in baseline.result.rows}
+        # The 2-hop connector applies to the 2-hop query as well (1 view hop).
+        if outcome.used_view is not None:
+            assert "2hop" in outcome.used_view_name
+
+
+class TestDblpPipeline:
+    def test_coauthor_query_equivalence(self):
+        raw = dblp_graph(num_authors=80, num_publications=120, seed=5)
+        graph = induced_subgraph_by_vertex_types(raw, ["Author", "Article", "InProc"])
+        kaskade = Kaskade(graph)
+        query = kaskade.parse(COAUTHORS, name="coauthors")
+        kaskade.select_views([query], budget_edges=10 * graph.num_edges)
+        baseline = kaskade.execute(query, use_views=False)
+        optimized = kaskade.execute(query)
+        assert {(r["a1"], r["a2"]) for r in baseline.result.rows} == {
+            (r["a1"], r["a2"]) for r in optimized.result.rows}
+
+
+class TestWorkloadConsistency:
+    def test_descendant_counts_match_between_modes(self):
+        """Q3 must return the same per-job descendant-job counts whether it runs
+        over the filtered graph (4 raw hops) or the 2-hop connector (2 hops)."""
+        prepared = prepare_dataset(dataset("prov", "tiny"))
+        filter_counts = {
+            job: len(descendants(prepared.base_graph, job, 4, vertex_type="Job"))
+            for job in prepared.base_graph.vertex_ids("Job")
+        }
+        connector_counts = {
+            job: len(descendants(prepared.connector_graph, job, 2, vertex_type="Job"))
+            for job in prepared.connector_graph.vertex_ids("Job")
+        }
+        # Jobs absent from the connector have no downstream jobs at all.
+        for job, count in filter_counts.items():
+            assert connector_counts.get(job, 0) == count
+
+    def test_full_workload_runs_on_all_datasets(self):
+        for name in ("prov", "dblp", "roadnet-usa"):
+            prepared = prepare_dataset(dataset(name, "tiny"))
+            result = run_workload(prepared, query_ids=["Q2", "Q5", "Q6"])
+            assert len(result.runtimes) == 6  # 3 queries x 2 modes
+            for record in result.runtimes:
+                assert record.seconds >= 0.0

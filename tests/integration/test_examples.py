@@ -1,0 +1,49 @@
+"""Smoke tests for the runnable examples (they must execute without errors)."""
+
+import runpy
+import sys
+from pathlib import Path
+from unittest import mock
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    """Execute an example script in-process (keeps coverage and import state)."""
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"missing example {name}"
+    with mock.patch.object(sys, "argv", [str(path)] + (argv or [])):
+        runpy.run_path(str(path), run_name="__main__")
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart.py",
+    "view_maintenance.py",
+])
+def test_small_examples_run(name, capsys):
+    run_example(name)
+    output = capsys.readouterr().out
+    assert output.strip(), f"{name} produced no output"
+
+
+def test_dblp_example_runs(capsys):
+    run_example("dblp_coauthorship.py")
+    output = capsys.readouterr().out
+    assert "co-author pairs" in output
+    assert "most collaborative authors" in output
+
+
+def test_blast_radius_example_runs(capsys):
+    run_example("provenance_blast_radius.py")
+    output = capsys.readouterr().out
+    assert "candidate views" in output
+    assert "blast radius ranking" in output
+
+
+def test_run_experiments_cli_subset(capsys):
+    run_example("run_experiments.py", ["table4", "pruning", "--scale", "tiny"])
+    output = capsys.readouterr().out
+    assert "Table IV" in output
+    assert "search-space reduction" in output

@@ -1,0 +1,166 @@
+"""Unit tests for the query AST."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import (
+    Condition,
+    EdgePattern,
+    GraphQuery,
+    NodePattern,
+    PathPattern,
+    PropertyRef,
+    ReturnItem,
+    edge,
+    node,
+    path,
+    ref,
+    returns,
+)
+
+
+class TestNodeAndEdgePatterns:
+    def test_node_matches_type(self):
+        pattern = node("j", "Job")
+        assert pattern.matches_type("Job")
+        assert not pattern.matches_type("File")
+        assert node("x").matches_type("Anything")
+
+    def test_edge_defaults_are_single_hop(self):
+        pattern = edge("WRITES_TO")
+        assert not pattern.is_variable_length
+        assert pattern.min_hops == pattern.max_hops == 1
+
+    def test_variable_length_edge(self):
+        pattern = edge(None, min_hops=0, max_hops=8)
+        assert pattern.is_variable_length
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(QueryError):
+            EdgePattern(direction="sideways")
+
+    def test_invalid_hop_bounds_rejected(self):
+        with pytest.raises(QueryError):
+            EdgePattern(min_hops=3, max_hops=1)
+        with pytest.raises(QueryError):
+            EdgePattern(min_hops=-1, max_hops=1)
+
+    def test_reversed_edge(self):
+        assert edge("X").reversed().direction == "in"
+        assert edge("X", direction="in").reversed().direction == "out"
+
+    def test_string_rendering(self):
+        assert str(node("j", "Job")) == "(j:Job)"
+        assert "*0..8" in str(edge(None, min_hops=0, max_hops=8))
+        assert str(edge("R", direction="in")).startswith("<-")
+
+
+class TestPathPattern:
+    def test_alternation_enforced(self):
+        with pytest.raises(QueryError):
+            PathPattern(nodes=(node("a"),), edges=(edge("X"),))
+        with pytest.raises(QueryError):
+            PathPattern(nodes=(), edges=())
+
+    def test_path_builder(self):
+        built = path(node("a", "Job"), edge("WRITES_TO"), node("f", "File"))
+        assert built.length == 1
+        assert built.variables() == ["a", "f"]
+
+    def test_hop_bounds(self):
+        built = path(node("a"), edge(None, min_hops=0, max_hops=8), node("b"),
+                     edge("X"), node("c"))
+        assert built.hop_bounds() == (1, 9)
+
+
+class TestConditionsAndReturns:
+    def test_condition_operators(self):
+        condition = Condition(ref=ref("a.cpu"), operator=">", value=10)
+        assert condition.evaluate(11)
+        assert not condition.evaluate(10)
+        assert not condition.evaluate(None)
+
+    def test_all_operators(self):
+        checks = [
+            ("=", 5, 5, True), ("<>", 5, 4, True), ("<", 3, 5, True),
+            ("<=", 5, 5, True), (">", 7, 5, True), (">=", 4, 5, False),
+        ]
+        for operator, actual, expected, outcome in checks:
+            condition = Condition(ref=ref("x.v"), operator=operator, value=expected)
+            assert condition.evaluate(actual) is outcome
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(QueryError):
+            Condition(ref=ref("a.cpu"), operator="~", value=1)
+
+    def test_return_item_names(self):
+        assert ReturnItem(ref=ref("a")).output_name == "a"
+        assert ReturnItem(ref=ref("a.cpu"), alias="CPU").output_name == "CPU"
+        assert ReturnItem(ref=ref("b"), aggregate="count").output_name == "count(b)"
+
+    def test_invalid_aggregate_rejected(self):
+        with pytest.raises(QueryError):
+            ReturnItem(ref=ref("a"), aggregate="median")
+
+    def test_returns_builder(self):
+        items = returns("a", ("b.cpu", "CPU"), ReturnItem(ref=ref("c"), aggregate="count"))
+        assert [i.output_name for i in items] == ["a", "CPU", "count(c)"]
+
+
+class TestGraphQuery:
+    def _blast_radius(self) -> GraphQuery:
+        return GraphQuery(
+            match=(
+                path(node("j1", "Job"), edge("WRITES_TO"), node("f1", "File")),
+                path(node("f1", "File"), edge(None, min_hops=0, max_hops=8),
+                     node("f2", "File")),
+                path(node("f2", "File"), edge("IS_READ_BY"), node("j2", "Job")),
+            ),
+            returns=returns(("j1", "A"), ("j2", "B")),
+            name="blast-radius",
+        )
+
+    def test_node_variables_order(self):
+        assert self._blast_radius().node_variables() == ["j1", "f1", "f2", "j2"]
+
+    def test_variable_label_lookup(self):
+        query = self._blast_radius()
+        assert query.variable_label("j1") == "Job"
+        assert query.variable_label("f2") == "File"
+        assert query.variable_label("missing") is None
+
+    def test_projected_variables(self):
+        assert self._blast_radius().projected_variables() == ["j1", "j2"]
+
+    def test_has_variable_length_paths(self):
+        assert self._blast_radius().has_variable_length_paths()
+        simple = GraphQuery(match=(path(node("a"), edge("X"), node("b")),))
+        assert not simple.has_variable_length_paths()
+
+    def test_empty_match_rejected(self):
+        with pytest.raises(QueryError):
+            GraphQuery(match=())
+
+    def test_where_on_undeclared_variable_rejected(self):
+        with pytest.raises(QueryError):
+            GraphQuery(
+                match=(path(node("a"), edge("X"), node("b")),),
+                where=(Condition(ref=ref("zzz.p"), operator="=", value=1),),
+            )
+
+    def test_return_of_undeclared_variable_rejected(self):
+        with pytest.raises(QueryError):
+            GraphQuery(
+                match=(path(node("a"), edge("X"), node("b")),),
+                returns=returns("zzz"),
+            )
+
+    def test_with_name(self):
+        renamed = self._blast_radius().with_name("Q1")
+        assert renamed.name == "Q1"
+        assert renamed.match == self._blast_radius().match
+
+    def test_str_contains_clauses(self):
+        text = str(self._blast_radius())
+        assert text.startswith("MATCH")
+        assert "RETURN" in text

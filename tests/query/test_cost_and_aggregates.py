@@ -1,0 +1,153 @@
+"""Unit tests for the query cost model and relational pipeline stages."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.graph import PropertyGraph
+from repro.query import (
+    Distinct,
+    Extend,
+    Filter,
+    GroupBy,
+    Limit,
+    OrderBy,
+    Pipeline,
+    QueryCostModel,
+    Select,
+    estimate_query_cost,
+    parse_query,
+)
+
+
+def make_chain_graph(num_jobs: int, files_per_job: int) -> PropertyGraph:
+    g = PropertyGraph(name="chain")
+    for j in range(num_jobs):
+        g.add_vertex(f"j{j}", "Job", cpu=float(j))
+    for j in range(num_jobs):
+        for f in range(files_per_job):
+            file_id = f"f{j}_{f}"
+            g.add_vertex(file_id, "File")
+            g.add_edge(f"j{j}", file_id, "WRITES_TO")
+            if j + 1 < num_jobs:
+                g.add_edge(file_id, f"j{j + 1}", "IS_READ_BY")
+    return g
+
+
+class TestCostModel:
+    def test_cost_grows_with_graph_size(self):
+        query = parse_query("MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j")
+        small = estimate_query_cost(make_chain_graph(3, 2), query)
+        large = estimate_query_cost(make_chain_graph(30, 4), query)
+        assert large > small
+
+    def test_cost_grows_with_hops(self):
+        graph = make_chain_graph(10, 3)
+        model = QueryCostModel.for_graph(graph)
+        one_hop = model.estimate_total(parse_query("MATCH (j:Job)-[*1..1]->(x) RETURN x"))
+        four_hops = model.estimate_total(parse_query("MATCH (j:Job)-[*1..4]->(x) RETURN x"))
+        assert four_hops > one_hop
+
+    def test_variable_length_costlier_than_fixed(self):
+        graph = make_chain_graph(10, 3)
+        model = QueryCostModel.for_graph(graph)
+        fixed = model.estimate_total(parse_query(
+            "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j"))
+        variable = model.estimate_total(parse_query(
+            "MATCH (j:Job)-[*1..6]->(x) RETURN x"))
+        assert variable > fixed
+
+    def test_estimate_breakdown_components(self):
+        graph = make_chain_graph(5, 2)
+        estimate = QueryCostModel.for_graph(graph).estimate(
+            parse_query("MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j"))
+        assert estimate.scan_cost > 0
+        assert estimate.expansion_cost > 0
+        assert estimate.total == estimate.scan_cost + estimate.expansion_cost
+
+    def test_estimates_are_comparable(self):
+        graph = make_chain_graph(5, 2)
+        model = QueryCostModel.for_graph(graph)
+        a = model.estimate(parse_query("MATCH (j:Job)-[*1..2]->(x) RETURN x"))
+        b = model.estimate(parse_query("MATCH (j:Job)-[*1..5]->(x) RETURN x"))
+        assert a < b
+
+    def test_unknown_label_costs_minimum(self):
+        graph = make_chain_graph(3, 1)
+        cost = estimate_query_cost(graph, parse_query(
+            "MATCH (x:Spaceship)-[:FLIES]->(y) RETURN x"))
+        assert cost >= 1.0
+
+
+ROWS = [
+    {"job": "j1", "pipeline": "ingest", "cpu": 10.0},
+    {"job": "j2", "pipeline": "transform", "cpu": 20.0},
+    {"job": "j3", "pipeline": "transform", "cpu": 40.0},
+]
+
+
+class TestPipelineStages:
+    def test_select_renames_columns(self):
+        rows = Select({"name": "job"}).apply(ROWS)
+        assert rows == [{"name": "j1"}, {"name": "j2"}, {"name": "j3"}]
+
+    def test_filter(self):
+        rows = Filter(lambda r: r["cpu"] > 15).apply(ROWS)
+        assert [r["job"] for r in rows] == ["j2", "j3"]
+
+    def test_extend_adds_column(self):
+        rows = Extend("cpu_hours", lambda r: r["cpu"] / 60).apply(ROWS)
+        assert rows[0]["cpu_hours"] == pytest.approx(10.0 / 60)
+
+    def test_group_by_with_aggregates(self):
+        rows = GroupBy(keys=["pipeline"],
+                       aggregates={"total": ("sum", "cpu"),
+                                   "mean": ("avg", "cpu"),
+                                   "n": ("count", "cpu")}).apply(ROWS)
+        by_pipeline = {r["pipeline"]: r for r in rows}
+        assert by_pipeline["transform"]["total"] == 60.0
+        assert by_pipeline["transform"]["mean"] == 30.0
+        assert by_pipeline["ingest"]["n"] == 1
+
+    def test_group_by_global(self):
+        rows = GroupBy(keys=[], aggregates={"total": ("sum", "cpu")}).apply(ROWS)
+        assert rows == [{"total": 70.0}]
+
+    def test_group_by_unknown_aggregate_raises(self):
+        with pytest.raises(QueryError):
+            GroupBy(keys=[], aggregates={"x": ("median", "cpu")}).apply(ROWS)
+
+    def test_order_by_and_limit(self):
+        rows = OrderBy(["cpu"], descending=True).apply(ROWS)
+        assert [r["job"] for r in rows] == ["j3", "j2", "j1"]
+        assert Limit(2).apply(rows) == rows[:2]
+
+    def test_order_by_handles_none(self):
+        rows = OrderBy(["cpu"]).apply(ROWS + [{"job": "j4", "pipeline": "x", "cpu": None}])
+        assert rows[0]["job"] == "j4"
+
+    def test_distinct(self):
+        rows = Distinct().apply([{"a": 1}, {"a": 1}, {"a": 2}])
+        assert rows == [{"a": 1}, {"a": 2}]
+
+    def test_pipeline_composition_listing1_shape(self):
+        # The relational wrapper of Listing 1: SUM per (A, B), then AVG per pipeline.
+        match_rows = [
+            {"A": "j1", "A_pipeline": "ingest", "B": "j2", "B_cpu": 20.0},
+            {"A": "j1", "A_pipeline": "ingest", "B": "j3", "B_cpu": 40.0},
+            {"A": "j2", "A_pipeline": "transform", "B": "j3", "B_cpu": 40.0},
+        ]
+        pipeline = Pipeline([
+            GroupBy(keys=["A", "A_pipeline", "B"], aggregates={"T_CPU": ("sum", "B_cpu")}),
+            GroupBy(keys=["A_pipeline"], aggregates={"avg_cpu": ("avg", "T_CPU")}),
+            OrderBy(["A_pipeline"]),
+        ])
+        rows = pipeline.run(match_rows)
+        assert rows == [
+            {"A_pipeline": "ingest", "avg_cpu": 30.0},
+            {"A_pipeline": "transform", "avg_cpu": 40.0},
+        ]
+
+    def test_pipeline_does_not_mutate_input(self):
+        original = [dict(r) for r in ROWS]
+        Pipeline([Extend("x", lambda r: 1)]).run(ROWS)
+        assert ROWS == original

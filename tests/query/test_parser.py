@@ -1,0 +1,136 @@
+"""Unit tests for the Cypher-like parser."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query import parse_pattern, parse_query, tokenize
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("MATCH (a:Job)-[:W]->(b)")]
+        assert kinds[0] == "KEYWORD"
+        assert "LPAREN" in kinds and "ARROW_RIGHT" in kinds
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("match (a) return a")
+        assert tokens[0].text == "MATCH"
+        assert any(t.text == "RETURN" for t in tokens)
+
+    def test_strings_and_numbers(self):
+        tokens = tokenize("WHERE a.x = 'hi' AND a.y >= 3.5")
+        assert any(t.kind == "STRING" for t in tokens)
+        assert any(t.kind == "NUMBER" and t.text == "3.5" for t in tokens)
+
+    def test_invalid_character_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("MATCH (a) @ (b)")
+
+
+class TestMatchParsing:
+    def test_single_edge_pattern(self):
+        query = parse_query("MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j")
+        assert len(query.match) == 1
+        pattern = query.match[0]
+        assert pattern.nodes[0].label == "Job"
+        assert pattern.edges[0].label == "WRITES_TO"
+        assert pattern.edges[0].direction == "out"
+        assert not pattern.edges[0].is_variable_length
+
+    def test_incoming_edge(self):
+        query = parse_query("MATCH (f:File)<-[:WRITES_TO]-(j:Job) RETURN f")
+        assert query.match[0].edges[0].direction == "in"
+
+    def test_anonymous_nodes_and_bare_edges(self):
+        query = parse_query("MATCH (a)-->(b)--(c) RETURN a")
+        assert query.match[0].length == 2
+        assert all(e.label is None for e in query.match[0].edges)
+
+    def test_variable_length_path_listing1(self):
+        # The variable-length construct from Listing 1: -[r*0..8]->
+        query = parse_query(
+            "MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File), "
+            "(q_f1:File)-[r*0..8]->(q_f2:File), "
+            "(q_f2:File)-[:IS_READ_BY]->(q_j2:Job) "
+            "RETURN q_j1 AS A, q_j2 AS B"
+        )
+        assert len(query.match) == 3
+        var_edge = query.match[1].edges[0]
+        assert var_edge.is_variable_length
+        assert (var_edge.min_hops, var_edge.max_hops) == (0, 8)
+        assert var_edge.variable == "r"
+        assert [item.alias for item in query.returns] == ["A", "B"]
+
+    def test_hop_bound_variants(self):
+        assert parse_pattern("(a)-[*2]->(b)")[0].edges[0].min_hops == 2
+        assert parse_pattern("(a)-[*2]->(b)")[0].edges[0].max_hops == 2
+        low, high = (parse_pattern("(a)-[*..4]->(b)")[0].edges[0].min_hops,
+                     parse_pattern("(a)-[*..4]->(b)")[0].edges[0].max_hops)
+        assert (low, high) == (1, 4)
+        star = parse_pattern("(a)-[*]->(b)")[0].edges[0]
+        assert star.min_hops == 1 and star.max_hops >= 1
+
+    def test_node_properties(self):
+        query = parse_query("MATCH (j:Job {name: 'etl', priority: 3})-[:X]->(f) RETURN j")
+        properties = dict(query.match[0].nodes[0].properties)
+        assert properties == {"name": "etl", "priority": 3}
+
+    def test_multiple_paths_share_variables(self):
+        query = parse_query("MATCH (a:Job)-[:W]->(f:File), (f)-[:R]->(b:Job) RETURN a, b")
+        assert query.node_variables() == ["a", "f", "b"]
+
+    def test_missing_match_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("(a)-[:X]->(b)")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("MATCH (a)-[:X]->(b) RETURN a banana banana")
+
+    def test_unclosed_node_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("MATCH (a:Job-[:X]->(b) RETURN a")
+
+
+class TestWhereAndReturnParsing:
+    def test_where_conditions(self):
+        query = parse_query(
+            "MATCH (a:Job)-[:W]->(f:File) WHERE a.cpu > 10 AND f.size <= 5 RETURN a")
+        assert len(query.where) == 2
+        assert query.where[0].operator == ">"
+        assert query.where[0].value == 10
+        assert query.where[1].ref.property == "size"
+
+    def test_where_string_and_bool_literals(self):
+        query = parse_query(
+            "MATCH (a:Job)-[:W]->(f) WHERE a.name = 'etl' AND a.active = true RETURN a")
+        assert query.where[0].value == "etl"
+        assert query.where[1].value is True
+
+    def test_return_aggregates(self):
+        query = parse_query("MATCH (a:Job)-[:W]->(f:File) RETURN a, count(f) AS n")
+        assert not query.returns[0].is_aggregate
+        assert query.returns[1].aggregate == "count"
+        assert query.returns[1].output_name == "n"
+
+    def test_return_property_and_distinct(self):
+        query = parse_query("MATCH (a:Job)-[:W]->(f) RETURN DISTINCT a.pipeline AS p")
+        assert query.distinct
+        assert query.returns[0].ref.property == "pipeline"
+
+    def test_count_star(self):
+        query = parse_query("MATCH (a:Job)-[:W]->(f) RETURN count(*) AS total")
+        assert query.returns[0].aggregate == "count"
+        assert query.returns[0].ref.variable == "*"
+
+    def test_limit(self):
+        query = parse_query("MATCH (a)-[:X]->(b) RETURN a LIMIT 5")
+        assert query.limit == 5
+
+    def test_round_trip_through_str(self):
+        original = parse_query(
+            "MATCH (a:Job)-[:W]->(f:File) WHERE a.cpu > 1 RETURN a AS x, count(f) AS n")
+        reparsed = parse_query(str(original))
+        assert reparsed.match == original.match
+        assert reparsed.where == original.where
+        assert reparsed.returns == original.returns

@@ -1,0 +1,132 @@
+"""Unit and property tests for the 0/1 knapsack solvers."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SelectionError
+from repro.solver import (
+    KnapsackItem,
+    solve,
+    solve_branch_and_bound,
+    solve_dynamic_programming,
+    solve_greedy,
+)
+
+
+def brute_force(items, capacity):
+    """Exhaustive optimum for small instances."""
+    best = 0.0
+    for r in range(len(items) + 1):
+        for combo in itertools.combinations(range(len(items)), r):
+            weight = sum(items[i].weight for i in combo)
+            if weight <= capacity:
+                best = max(best, sum(items[i].value for i in combo))
+    return best
+
+
+SMALL_ITEMS = [
+    KnapsackItem(value=60, weight=10),
+    KnapsackItem(value=100, weight=20),
+    KnapsackItem(value=120, weight=30),
+]
+
+
+class TestExactSolvers:
+    def test_classic_instance(self):
+        solution = solve_branch_and_bound(SMALL_ITEMS, 50)
+        assert solution.total_value == 220
+        assert set(solution.chosen) == {1, 2}
+        assert solution.total_weight == 50
+
+    def test_dp_matches_branch_and_bound(self):
+        dp = solve_dynamic_programming(SMALL_ITEMS, 50)
+        bb = solve_branch_and_bound(SMALL_ITEMS, 50)
+        assert dp.total_value == bb.total_value
+
+    def test_zero_capacity(self):
+        solution = solve_branch_and_bound(SMALL_ITEMS, 0)
+        assert solution.chosen == ()
+        assert solution.total_value == 0
+
+    def test_empty_items(self):
+        assert solve_branch_and_bound([], 10).chosen == ()
+
+    def test_all_items_fit(self):
+        solution = solve_branch_and_bound(SMALL_ITEMS, 1000)
+        assert set(solution.chosen) == {0, 1, 2}
+
+    def test_zero_weight_items_always_taken(self):
+        items = [KnapsackItem(value=5, weight=0), KnapsackItem(value=1, weight=10)]
+        solution = solve_branch_and_bound(items, 5)
+        assert 0 in solution.chosen
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(SelectionError):
+            solve_branch_and_bound([KnapsackItem(value=-1, weight=1)], 10)
+        with pytest.raises(SelectionError):
+            solve_branch_and_bound([KnapsackItem(value=1, weight=-1)], 10)
+        with pytest.raises(SelectionError):
+            solve_branch_and_bound(SMALL_ITEMS, -1)
+
+    def test_payloads_preserved(self):
+        items = [KnapsackItem(value=1, weight=1, payload="view-a")]
+        solution = solve(items, 10)
+        assert items[solution.chosen[0]].payload == "view-a"
+
+
+class TestGreedyAndDispatch:
+    def test_greedy_is_feasible_but_maybe_suboptimal(self):
+        # Classic greedy trap: density ordering misses the optimum.
+        items = [
+            KnapsackItem(value=60, weight=10),
+            KnapsackItem(value=100, weight=20),
+            KnapsackItem(value=120, weight=30),
+        ]
+        greedy = solve_greedy(items, 50)
+        exact = solve_branch_and_bound(items, 50)
+        assert greedy.total_weight <= 50
+        assert greedy.total_value <= exact.total_value
+
+    def test_solve_dispatch(self):
+        for method in ("branch_and_bound", "dynamic_programming", "greedy"):
+            solution = solve(SMALL_ITEMS, 50, method=method)
+            assert solution.total_weight <= 50
+        with pytest.raises(SelectionError):
+            solve(SMALL_ITEMS, 50, method="simulated_annealing")
+
+
+items_strategy = st.lists(
+    st.builds(
+        KnapsackItem,
+        value=st.floats(min_value=0, max_value=100, allow_nan=False),
+        weight=st.integers(min_value=0, max_value=30).map(float),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+class TestKnapsackProperties:
+    @given(items_strategy, st.integers(min_value=0, max_value=60))
+    @settings(max_examples=40, deadline=None)
+    def test_branch_and_bound_is_optimal(self, items, capacity):
+        solution = solve_branch_and_bound(items, capacity)
+        assert solution.total_weight <= capacity + 1e-9
+        assert solution.total_value == pytest.approx(brute_force(items, capacity))
+
+    @given(items_strategy, st.integers(min_value=0, max_value=60))
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_never_beats_exact_and_is_feasible(self, items, capacity):
+        greedy = solve_greedy(items, capacity)
+        exact = solve_branch_and_bound(items, capacity)
+        assert greedy.total_weight <= capacity + 1e-9
+        assert greedy.total_value <= exact.total_value + 1e-9
+
+    @given(items_strategy, st.integers(min_value=0, max_value=60))
+    @settings(max_examples=30, deadline=None)
+    def test_dp_matches_brute_force_on_integer_weights(self, items, capacity):
+        solution = solve_dynamic_programming(items, capacity)
+        assert solution.total_value == pytest.approx(brute_force(items, capacity))

@@ -1,0 +1,157 @@
+"""Unit tests for the view catalog and incremental connector maintenance."""
+
+import pytest
+
+from repro.errors import ViewError, ViewNotMaterializedError
+from repro.graph import PropertyGraph
+from repro.views import (
+    ConnectorMaintainer,
+    ConnectorView,
+    MaterializedView,
+    ViewCatalog,
+    job_to_job_connector,
+    keep_types_summarizer,
+)
+from repro.views.definitions import ViewDefinition
+
+
+@pytest.fixture
+def lineage() -> PropertyGraph:
+    g = PropertyGraph(name="lineage")
+    for job in ("j1", "j2", "j3"):
+        g.add_vertex(job, "Job")
+    for f in ("f1", "f2"):
+        g.add_vertex(f, "File")
+    g.add_edge("j1", "f1", "WRITES_TO")
+    g.add_edge("f1", "j2", "IS_READ_BY")
+    g.add_edge("j2", "f2", "WRITES_TO")
+    return g
+
+
+class TestCatalog:
+    def test_materialize_and_get(self, lineage):
+        catalog = ViewCatalog()
+        view = catalog.materialize(lineage, job_to_job_connector())
+        assert view.num_edges == 1
+        assert view.size == 1
+        assert catalog.contains(job_to_job_connector())
+        assert catalog.get(job_to_job_connector()) is view
+        assert view.creation_seconds >= 0
+
+    def test_find_returns_none_when_missing(self, lineage):
+        catalog = ViewCatalog()
+        assert catalog.find(job_to_job_connector()) is None
+
+    def test_get_missing_raises(self):
+        with pytest.raises(ViewNotMaterializedError):
+            ViewCatalog().get(job_to_job_connector())
+
+    def test_drop_and_clear(self, lineage):
+        catalog = ViewCatalog()
+        catalog.materialize(lineage, job_to_job_connector())
+        catalog.materialize(lineage, keep_types_summarizer(["Job"]))
+        assert len(catalog) == 2
+        catalog.drop(job_to_job_connector())
+        assert len(catalog) == 1
+        with pytest.raises(ViewNotMaterializedError):
+            catalog.drop(job_to_job_connector())
+        catalog.clear()
+        assert len(catalog) == 0
+
+    def test_connectors_and_summarizers_split(self, lineage):
+        catalog = ViewCatalog()
+        catalog.materialize(lineage, job_to_job_connector())
+        catalog.materialize(lineage, keep_types_summarizer(["Job", "File"]))
+        assert len(catalog.connectors()) == 1
+        assert len(catalog.summarizers()) == 1
+
+    def test_totals(self, lineage):
+        catalog = ViewCatalog()
+        catalog.materialize(lineage, job_to_job_connector())
+        catalog.materialize(lineage, keep_types_summarizer(["Job", "File"]))
+        assert catalog.total_size() == sum(v.size for v in catalog)
+        assert catalog.total_footprint() > 0
+
+    def test_rematerialize_replaces(self, lineage):
+        catalog = ViewCatalog()
+        first = catalog.materialize(lineage, job_to_job_connector())
+        second = catalog.materialize(lineage, job_to_job_connector())
+        assert len(catalog) == 1
+        assert catalog.get(job_to_job_connector()) is second
+        assert first is not second
+
+    def test_register_external_view(self, lineage):
+        catalog = ViewCatalog()
+        external = MaterializedView(definition=job_to_job_connector(), graph=lineage)
+        catalog.register(external)
+        assert catalog.get(job_to_job_connector()) is external
+
+    def test_unknown_definition_type_rejected(self, lineage):
+        class Oddball(ViewDefinition):
+            @property
+            def kind(self):
+                return "odd"
+
+            def signature(self):
+                return ("odd",)
+
+            def describe(self):
+                return "odd"
+
+        with pytest.raises(ViewError):
+            ViewCatalog().materialize(lineage, Oddball(name="odd"))
+
+
+class TestMaintenance:
+    def test_edge_added_creates_new_connector_edge(self, lineage):
+        catalog = ViewCatalog()
+        view = catalog.materialize(lineage, job_to_job_connector())
+        assert not view.graph.has_edge("j2", "j3")
+        maintainer = ConnectorMaintainer(lineage, view)
+        lineage.add_edge("f2", "j3", "IS_READ_BY")
+        report = maintainer.on_edge_added("f2", "j3")
+        assert report.added_edges == 1
+        assert report.changed
+        assert view.graph.has_edge("j2", "j3")
+
+    def test_duplicate_paths_bump_path_count(self, lineage):
+        catalog = ViewCatalog()
+        view = catalog.materialize(lineage, job_to_job_connector())
+        maintainer = ConnectorMaintainer(lineage, view)
+        # Second parallel 2-hop path from j1 to j2 through a new file.
+        lineage.add_vertex("f9", "File")
+        lineage.add_edge("j1", "f9", "WRITES_TO")
+        maintainer.on_edge_added("j1", "f9")
+        lineage.add_edge("f9", "j2", "IS_READ_BY")
+        report = maintainer.on_edge_added("f9", "j2")
+        assert report.added_edges == 0  # edge already existed; count bumped
+        edge = next(view.graph.out_edges("j1", view.definition.output_label
+                                         if hasattr(view.definition, "output_label") else None))
+        assert edge.get("path_count") == 2
+
+    def test_edge_removed_drops_stale_connector_edges(self, lineage):
+        catalog = ViewCatalog()
+        view = catalog.materialize(lineage, job_to_job_connector())
+        maintainer = ConnectorMaintainer(lineage, view)
+        edge = next(e for e in lineage.edges("IS_READ_BY"))
+        lineage.remove_edge(edge.id)
+        report = maintainer.on_edge_removed(edge.source, edge.target)
+        assert report.removed_edges == 1
+        assert view.graph.num_edges == 0
+
+    def test_maintained_view_matches_rematerialization(self, lineage):
+        catalog = ViewCatalog()
+        view = catalog.materialize(lineage, job_to_job_connector())
+        maintainer = ConnectorMaintainer(lineage, view)
+        lineage.add_edge("f2", "j3", "IS_READ_BY")
+        maintainer.on_edge_added("f2", "j3")
+        fresh = ViewCatalog().materialize(lineage, job_to_job_connector())
+        maintained_edges = {(e.source, e.target) for e in view.graph.edges()}
+        fresh_edges = {(e.source, e.target) for e in fresh.graph.edges()}
+        assert maintained_edges == fresh_edges
+
+    def test_maintainer_rejects_non_k_hop_views(self, lineage):
+        catalog = ViewCatalog()
+        view = catalog.materialize(lineage, keep_types_summarizer(["Job"]))
+        with pytest.raises(ValueError):
+            ConnectorMaintainer(lineage, view)

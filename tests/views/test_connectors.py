@@ -1,0 +1,195 @@
+"""Unit and property tests for connector materialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import PropertyGraph
+from repro.views import (
+    ConnectorView,
+    count_connector_edges,
+    count_connector_paths,
+    job_to_job_connector,
+    materialize_connector,
+)
+
+
+@pytest.fixture
+def fig3_graph() -> PropertyGraph:
+    """The Fig. 3(a) lineage graph."""
+    g = PropertyGraph(name="fig3")
+    for job in ("j1", "j2", "j3"):
+        g.add_vertex(job, "Job", cpu=1.0)
+    for f in ("f1", "f2", "f3", "f4"):
+        g.add_vertex(f, "File")
+    g.add_edge("j1", "f1", "WRITES_TO")
+    g.add_edge("j1", "f2", "WRITES_TO")
+    g.add_edge("f1", "j2", "IS_READ_BY")
+    g.add_edge("f2", "j3", "IS_READ_BY")
+    g.add_edge("j2", "f3", "WRITES_TO")
+    g.add_edge("j3", "f4", "WRITES_TO")
+    return g
+
+
+class TestKHopConnectors:
+    def test_job_to_job_matches_fig3c(self, fig3_graph):
+        connector = materialize_connector(fig3_graph, job_to_job_connector())
+        assert set(connector.vertex_ids()) == {"j1", "j2", "j3"}
+        assert connector.num_edges == 2
+        assert connector.has_edge("j1", "j2")
+        assert connector.has_edge("j1", "j3")
+
+    def test_file_to_file_matches_fig3d(self, fig3_graph):
+        view = ConnectorView(name="f2f", connector_kind="k_hop_same_vertex_type",
+                             source_type="File", target_type="File", k=2)
+        connector = materialize_connector(fig3_graph, view)
+        assert set(connector.vertex_ids()) == {"f1", "f2", "f3", "f4"}
+        assert connector.num_edges == 2
+        assert connector.has_edge("f1", "f3")
+        assert connector.has_edge("f2", "f4")
+
+    def test_connector_edges_carry_hop_metadata(self, fig3_graph):
+        connector = materialize_connector(fig3_graph, job_to_job_connector())
+        for edge in connector.edges():
+            assert edge.get("hops") == 2
+            assert edge.get("path_count") >= 1
+            assert edge.label == job_to_job_connector().output_label
+
+    def test_untyped_k_hop_connector(self, fig3_graph):
+        view = ConnectorView(name="any2", connector_kind="k_hop", k=2)
+        connector = materialize_connector(fig3_graph, view)
+        # Every 2-hop simple path contributes an endpoint pair.
+        assert connector.num_edges == count_connector_edges(fig3_graph, view)
+
+    def test_edge_label_restriction(self, fig3_graph):
+        view = ConnectorView(name="w2", connector_kind="k_hop", k=2,
+                             edge_label="WRITES_TO")
+        connector = materialize_connector(fig3_graph, view)
+        assert connector.num_edges == 0  # WRITES_TO is never followed by WRITES_TO
+
+    def test_max_paths_cap(self, fig3_graph):
+        view = ConnectorView(name="any1", connector_kind="k_hop", k=1)
+        capped = materialize_connector(fig3_graph, view, max_paths=2)
+        assert capped.num_edges <= 2
+
+    def test_four_hop_job_to_job(self, fig3_graph):
+        # Extend the chain so a 4-hop job-to-job path exists: j1 ->f1 ->j2 ->f3 ->j4.
+        fig3_graph.add_vertex("j4", "Job")
+        fig3_graph.add_edge("f3", "j4", "IS_READ_BY")
+        connector = materialize_connector(fig3_graph, job_to_job_connector(4))
+        assert connector.has_edge("j1", "j4")
+
+
+class TestOtherConnectors:
+    def test_same_vertex_type_variable_length(self, fig3_graph):
+        view = ConnectorView(name="j2j_any", connector_kind="same_vertex_type",
+                             source_type="Job", max_hops=4)
+        connector = materialize_connector(fig3_graph, view)
+        # Adjacent job pairs (via any non-job intermediate path).
+        assert connector.has_edge("j1", "j2")
+        assert connector.has_edge("j1", "j3")
+        # j2 -> f3 has no downstream job, so no edge out of j2.
+        assert not any(True for _ in connector.out_edges("j2"))
+
+    def test_same_edge_type_connector(self, fig3_graph):
+        fig3_graph.add_vertex("t1", "Task")
+        fig3_graph.add_vertex("t2", "Task")
+        fig3_graph.add_vertex("t3", "Task")
+        fig3_graph.add_edge("t1", "t2", "TRANSFERS_TO")
+        fig3_graph.add_edge("t2", "t3", "TRANSFERS_TO")
+        view = ConnectorView(name="transfers", connector_kind="same_edge_type",
+                             edge_label="TRANSFERS_TO", max_hops=4)
+        connector = materialize_connector(fig3_graph, view)
+        assert connector.has_edge("t1", "t2")
+        assert connector.has_edge("t1", "t3")
+        assert connector.has_edge("t2", "t3")
+        assert connector.num_edges == 3
+
+    def test_same_edge_type_requires_label(self, fig3_graph):
+        from repro.errors import ViewError
+        view = ConnectorView(name="bad", connector_kind="same_edge_type")
+        with pytest.raises(ViewError):
+            materialize_connector(fig3_graph, view)
+
+    def test_source_to_sink_connector(self, fig3_graph):
+        view = ConnectorView(name="s2s", connector_kind="source_to_sink", max_hops=8)
+        connector = materialize_connector(fig3_graph, view)
+        # j1 is the only source; f3 and f4 are the sinks.
+        assert set(connector.vertex_ids()) == {"j1", "f3", "f4"}
+        assert connector.has_edge("j1", "f3")
+        assert connector.has_edge("j1", "f4")
+
+
+class TestCounts:
+    def test_count_matches_materialization(self, fig3_graph):
+        view = job_to_job_connector()
+        assert count_connector_edges(fig3_graph, view) == materialize_connector(
+            fig3_graph, view).num_edges
+
+    def test_paths_at_least_edges(self, fig3_graph):
+        view = job_to_job_connector()
+        assert count_connector_paths(fig3_graph, view) >= count_connector_edges(
+            fig3_graph, view)
+
+    def test_counts_for_all_kinds(self, fig3_graph):
+        kinds = [
+            job_to_job_connector(),
+            ConnectorView(name="svt", connector_kind="same_vertex_type",
+                          source_type="Job", max_hops=4),
+            ConnectorView(name="set", connector_kind="same_edge_type",
+                          edge_label="WRITES_TO", max_hops=3),
+            ConnectorView(name="s2s", connector_kind="source_to_sink", max_hops=8),
+        ]
+        for view in kinds:
+            assert count_connector_edges(fig3_graph, view) == materialize_connector(
+                fig3_graph, view).num_edges
+
+
+@st.composite
+def random_bipartite_lineage(draw):
+    """Random job/file bipartite graph with alternating WRITES_TO / IS_READ_BY edges."""
+    num_jobs = draw(st.integers(min_value=2, max_value=6))
+    num_files = draw(st.integers(min_value=2, max_value=6))
+    graph = PropertyGraph(name="random-lineage")
+    for j in range(num_jobs):
+        graph.add_vertex(f"j{j}", "Job")
+    for f in range(num_files):
+        graph.add_vertex(f"f{f}", "File")
+    writes = draw(st.lists(
+        st.tuples(st.integers(0, num_jobs - 1), st.integers(0, num_files - 1)),
+        max_size=12))
+    reads = draw(st.lists(
+        st.tuples(st.integers(0, num_files - 1), st.integers(0, num_jobs - 1)),
+        max_size=12))
+    for j, f in writes:
+        graph.add_edge(f"j{j}", f"f{f}", "WRITES_TO")
+    for f, j in reads:
+        graph.add_edge(f"f{f}", f"j{j}", "IS_READ_BY")
+    return graph
+
+
+class TestConnectorProperties:
+    @given(random_bipartite_lineage())
+    @settings(max_examples=25, deadline=None)
+    def test_connector_is_a_view_over_target_vertices(self, graph):
+        """Connector vertices are a subset of the original target-type vertices,
+        and every contracted edge corresponds to a real 2-hop path."""
+        connector = materialize_connector(graph, job_to_job_connector())
+        job_ids = set(graph.vertex_ids("Job"))
+        assert set(connector.vertex_ids()) <= job_ids
+        for edge in connector.edges():
+            # There must exist a file w such that source -> w -> target.
+            middles = {e.target for e in graph.out_edges(edge.source, "WRITES_TO")}
+            reachable = {
+                e2.target
+                for middle in middles
+                for e2 in graph.out_edges(middle, "IS_READ_BY")
+            }
+            assert edge.target in reachable
+
+    @given(random_bipartite_lineage())
+    @settings(max_examples=25, deadline=None)
+    def test_count_estimator_ground_truth_consistency(self, graph):
+        view = job_to_job_connector()
+        assert count_connector_edges(graph, view) == materialize_connector(
+            graph, view).num_edges

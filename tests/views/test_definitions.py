@@ -1,0 +1,103 @@
+"""Unit tests for view definitions."""
+
+import pytest
+
+from repro.errors import ViewError
+from repro.views import (
+    ConnectorView,
+    SummarizerView,
+    author_to_author_connector,
+    job_to_job_connector,
+    keep_types_summarizer,
+    vertex_to_vertex_connector,
+)
+
+
+class TestConnectorDefinitions:
+    def test_job_to_job_defaults(self):
+        view = job_to_job_connector()
+        assert view.kind == "connector"
+        assert view.connector_kind == "k_hop_same_vertex_type"
+        assert view.k == 2
+        assert view.source_type == view.target_type == "Job"
+        assert "JOB" in view.output_label
+
+    def test_named_helpers(self):
+        assert author_to_author_connector(4).k == 4
+        assert vertex_to_vertex_connector("Page").source_type == "Page"
+
+    def test_k_hop_requires_k(self):
+        with pytest.raises(ViewError):
+            ConnectorView(name="bad", connector_kind="k_hop")
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ViewError):
+            ConnectorView(name="bad", connector_kind="k_hop", k=0)
+
+    def test_same_vertex_type_requires_type(self):
+        with pytest.raises(ViewError):
+            ConnectorView(name="bad", connector_kind="same_vertex_type")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ViewError):
+            ConnectorView(name="bad", connector_kind="teleporter")
+
+    def test_signature_identity(self):
+        assert job_to_job_connector().signature() == job_to_job_connector(name="other").signature()
+        assert job_to_job_connector(2).signature() != job_to_job_connector(4).signature()
+
+    def test_describe_and_cypher(self):
+        view = job_to_job_connector()
+        assert "2-hop" in view.describe()
+        cypher = view.to_cypher()
+        assert "MATCH" in cypher and "MERGE" in cypher and ":Job" in cypher
+
+    def test_source_to_sink_describe(self):
+        view = ConnectorView(name="s2s", connector_kind="source_to_sink", max_hops=6)
+        assert "source-to-sink" in view.describe()
+
+    def test_custom_output_label_preserved(self):
+        view = ConnectorView(name="x", connector_kind="k_hop", k=3, output_label="CUSTOM")
+        assert view.output_label == "CUSTOM"
+
+
+class TestSummarizerDefinitions:
+    def test_keep_types_helper(self):
+        view = keep_types_summarizer(["Job", "File"])
+        assert view.kind == "summarizer"
+        assert view.summarizer_kind == "vertex_inclusion"
+        assert set(view.vertex_types) == {"Job", "File"}
+
+    def test_vertex_filter_requires_types_or_predicates(self):
+        with pytest.raises(ViewError):
+            SummarizerView(name="bad", summarizer_kind="vertex_inclusion")
+        # With a property predicate instead of types it is fine.
+        SummarizerView(name="ok", summarizer_kind="vertex_inclusion",
+                       property_predicates=(("cpu", ">", 10),))
+
+    def test_edge_filter_requires_labels(self):
+        with pytest.raises(ViewError):
+            SummarizerView(name="bad", summarizer_kind="edge_removal")
+
+    def test_aggregator_requires_group_by(self):
+        with pytest.raises(ViewError):
+            SummarizerView(name="bad", summarizer_kind="vertex_aggregator")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ViewError):
+            SummarizerView(name="bad", summarizer_kind="squash")
+
+    def test_signatures_differ_by_parameters(self):
+        a = keep_types_summarizer(["Job"])
+        b = keep_types_summarizer(["Job", "File"])
+        assert a.signature() != b.signature()
+
+    def test_describe_variants(self):
+        assert "keep" in keep_types_summarizer(["Job"]).describe()
+        removal = SummarizerView(name="r", summarizer_kind="edge_removal",
+                                 edge_labels=("SPAWNS",))
+        assert "remove" in removal.describe()
+        aggregator = SummarizerView(name="a", summarizer_kind="vertex_aggregator",
+                                    group_by="pipeline",
+                                    aggregations=(("cpu", "sum"),))
+        assert "grouped by" in aggregator.describe()

@@ -1,0 +1,147 @@
+"""Unit and property tests for summarizer materialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ViewError
+from repro.graph import PropertyGraph
+from repro.views import SummarizerView, keep_types_summarizer, materialize_summarizer
+from repro.views.summarizers import summarizer_reduction
+
+
+@pytest.fixture
+def provenance_like() -> PropertyGraph:
+    """Provenance-style graph with jobs, files, tasks, and machines."""
+    g = PropertyGraph(name="prov-small")
+    for j in range(3):
+        g.add_vertex(f"j{j}", "Job", cpu=10.0 * (j + 1), pipeline="etl" if j < 2 else "ml")
+    for f in range(4):
+        g.add_vertex(f"f{f}", "File", bytes=100 * (f + 1))
+    for t in range(5):
+        g.add_vertex(f"t{t}", "Task")
+    g.add_vertex("m0", "Machine")
+    g.add_edge("j0", "f0", "WRITES_TO")
+    g.add_edge("f0", "j1", "IS_READ_BY")
+    g.add_edge("j1", "f1", "WRITES_TO")
+    g.add_edge("f1", "j2", "IS_READ_BY")
+    g.add_edge("j2", "f2", "WRITES_TO")
+    g.add_edge("j0", "f3", "WRITES_TO")
+    for t in range(5):
+        g.add_edge(f"j{t % 3}", f"t{t}", "SPAWNS")
+        g.add_edge("m0", f"t{t}", "RUNS")
+    g.add_edge("t0", "t1", "TRANSFERS_TO")
+    g.add_edge("t0", "t1", "TRANSFERS_TO")  # parallel edge for the aggregator test
+    return g
+
+
+class TestVertexFilters:
+    def test_vertex_inclusion_keeps_only_selected(self, provenance_like):
+        view = keep_types_summarizer(["Job", "File"])
+        summarized = materialize_summarizer(provenance_like, view)
+        assert set(summarized.vertex_types()) == {"Job", "File"}
+        # Only job<->file edges survive.
+        assert set(summarized.edge_labels()) == {"WRITES_TO", "IS_READ_BY"}
+        assert summarized.num_vertices == 7
+        assert summarized.num_edges == 6
+
+    def test_vertex_removal_drops_selected(self, provenance_like):
+        view = SummarizerView(name="no_tasks", summarizer_kind="vertex_removal",
+                              vertex_types=("Task",))
+        summarized = materialize_summarizer(provenance_like, view)
+        assert "Task" not in summarized.vertex_types()
+        assert summarized.count_edges("SPAWNS") == 0
+        assert summarized.count_edges("WRITES_TO") == 4
+
+    def test_property_predicate_filter(self, provenance_like):
+        view = SummarizerView(name="big_jobs", summarizer_kind="vertex_inclusion",
+                              vertex_types=("Job",),
+                              property_predicates=(("cpu", ">=", 20.0),))
+        summarized = materialize_summarizer(provenance_like, view)
+        assert set(summarized.vertex_ids()) == {"j1", "j2"}
+
+    def test_invalid_predicate_operator(self, provenance_like):
+        view = SummarizerView(name="bad", summarizer_kind="vertex_inclusion",
+                              vertex_types=("Job",),
+                              property_predicates=(("cpu", "~", 1),))
+        with pytest.raises(ViewError):
+            materialize_summarizer(provenance_like, view)
+
+
+class TestEdgeFilters:
+    def test_edge_inclusion(self, provenance_like):
+        view = SummarizerView(name="lineage_only", summarizer_kind="edge_inclusion",
+                              edge_labels=("WRITES_TO", "IS_READ_BY"))
+        summarized = materialize_summarizer(provenance_like, view)
+        assert set(summarized.edge_labels()) == {"WRITES_TO", "IS_READ_BY"}
+        assert summarized.num_vertices == provenance_like.num_vertices
+
+    def test_edge_removal(self, provenance_like):
+        view = SummarizerView(name="no_runs", summarizer_kind="edge_removal",
+                              edge_labels=("RUNS",))
+        summarized = materialize_summarizer(provenance_like, view)
+        assert summarized.count_edges("RUNS") == 0
+        assert summarized.count_edges("SPAWNS") == 5
+
+
+class TestAggregators:
+    def test_vertex_aggregator_by_property(self, provenance_like):
+        view = SummarizerView(name="by_pipeline", summarizer_kind="vertex_aggregator",
+                              vertex_types=("Job",), group_by="pipeline",
+                              aggregations=(("cpu", "sum"),))
+        summarized = materialize_summarizer(provenance_like, view)
+        groups = {v.get("group_key"): v for v in summarized.vertices()
+                  if v.type.endswith("_group")}
+        assert set(groups) == {"etl", "ml"}
+        assert groups["etl"].get("cpu") == 30.0
+        assert groups["etl"].get("member_count") == 2
+
+    def test_vertex_aggregator_by_type(self, provenance_like):
+        view = SummarizerView(name="by_type", summarizer_kind="subgraph_aggregator",
+                              group_by="type")
+        summarized = materialize_summarizer(provenance_like, view)
+        # All vertices collapse into one super-vertex per type.
+        assert summarized.num_vertices == len(provenance_like.vertex_types())
+
+    def test_vertex_aggregator_invalid_function(self, provenance_like):
+        view = SummarizerView(name="bad", summarizer_kind="vertex_aggregator",
+                              group_by="pipeline", aggregations=(("cpu", "median"),))
+        with pytest.raises(ViewError):
+            materialize_summarizer(provenance_like, view)
+
+    def test_edge_aggregator_merges_parallel_edges(self, provenance_like):
+        view = SummarizerView(name="merge_transfers", summarizer_kind="edge_aggregator",
+                              edge_labels=("TRANSFERS_TO",), group_by="type")
+        summarized = materialize_summarizer(provenance_like, view)
+        transfer_edges = list(summarized.edges("TRANSFERS_TO"))
+        assert len(transfer_edges) == 1
+        assert transfer_edges[0].get("edge_count") == 2
+        # Other edges are untouched.
+        assert summarized.count_edges("WRITES_TO") == provenance_like.count_edges("WRITES_TO")
+
+
+class TestReductionReport:
+    def test_summarizer_reduction_factors(self, provenance_like):
+        report = summarizer_reduction(provenance_like, keep_types_summarizer(["Job", "File"]))
+        assert report["original_vertices"] == provenance_like.num_vertices
+        assert report["summarized_vertices"] == 7
+        assert report["vertex_reduction"] > 1
+        assert report["edge_reduction"] > 1
+
+
+vertex_type_strategy = st.sampled_from(["Job", "File", "Task", "Machine"])
+
+
+class TestSummarizerInvariants:
+    @given(st.lists(vertex_type_strategy, min_size=1, max_size=3, unique=True))
+    @settings(max_examples=20, deadline=None)
+    def test_summarizer_never_grows_the_graph(self, keep_types):
+        graph = PropertyGraph(name="g")
+        for i in range(12):
+            graph.add_vertex(i, ["Job", "File", "Task", "Machine"][i % 4])
+        for i in range(11):
+            graph.add_edge(i, i + 1, "L")
+        summarized = materialize_summarizer(graph, keep_types_summarizer(keep_types))
+        assert summarized.num_vertices <= graph.num_vertices
+        assert summarized.num_edges <= graph.num_edges
+        assert set(summarized.vertex_types()) <= set(keep_types)

@@ -1,0 +1,112 @@
+"""Unit tests for the Q1-Q8 workload definitions and runner."""
+
+import pytest
+
+from repro.datasets import dataset
+from repro.workloads import (
+    WorkloadQuery,
+    build_workload,
+    prepare_dataset,
+    run_query,
+    run_workload,
+    workload_for_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def prov_prepared():
+    return prepare_dataset(dataset("prov", "tiny"))
+
+
+@pytest.fixture(scope="module")
+def roadnet_prepared():
+    return prepare_dataset(dataset("roadnet-usa", "tiny"))
+
+
+class TestWorkloadDefinitions:
+    def test_prov_workload_has_all_eight_queries(self):
+        queries = workload_for_dataset("prov")
+        assert [q.query_id for q in queries] == [f"Q{i}" for i in range(1, 9)]
+
+    def test_non_prov_workloads_skip_q1(self):
+        for name in ("dblp", "soc-livejournal", "roadnet-usa"):
+            ids = [q.query_id for q in workload_for_dataset(name)]
+            assert "Q1" not in ids
+            assert ids == [f"Q{i}" for i in range(2, 9)]
+
+    def test_table_iv_metadata(self):
+        queries = {q.query_id: q for q in workload_for_dataset("prov")}
+        assert queries["Q1"].result_kind == "Subgraph"
+        assert queries["Q2"].result_kind == "Set of vertices"
+        assert queries["Q4"].result_kind == "Bag of scalars"
+        assert queries["Q5"].result_kind == "Single scalar"
+        assert queries["Q7"].operation == "Update"
+        assert queries["Q8"].result_kind == "Subgraph"
+
+    def test_cypher_text_present_for_pattern_queries(self):
+        queries = {q.query_id: q for q in workload_for_dataset("prov")}
+        assert "MATCH" in queries["Q1"].cypher
+        assert "MATCH" in queries["Q2"].cypher
+
+    def test_build_workload_anchor_type(self):
+        queries = build_workload("Author", heterogeneous=True, blast_radius_supported=False)
+        assert all(isinstance(q, WorkloadQuery) for q in queries)
+        assert ":Author" in {q.query_id: q for q in queries}["Q2"].cypher
+
+
+class TestPreparedDatasets:
+    def test_prov_base_is_filtered(self, prov_prepared):
+        assert prov_prepared.base_mode == "filter"
+        assert set(prov_prepared.base_graph.vertex_types()) <= {"Job", "File"}
+
+    def test_prov_connector_is_job_to_job(self, prov_prepared):
+        connector = prov_prepared.connector_graph
+        assert set(connector.vertex_types()) <= {"Job"}
+        assert connector.num_edges > 0
+
+    def test_homogeneous_base_is_raw(self, roadnet_prepared):
+        assert roadnet_prepared.base_mode == "raw"
+        assert roadnet_prepared.base_graph.num_edges > 0
+        assert roadnet_prepared.connector_graph.num_edges > 0
+
+
+class TestRunner:
+    def test_run_single_query_records_runtime(self, prov_prepared):
+        q5 = next(q for q in workload_for_dataset("prov") if q.query_id == "Q5")
+        record = run_query(q5, prov_prepared, "filter")
+        assert record.seconds >= 0
+        assert record.result_size == 1
+        assert record.mode == "filter"
+
+    def test_run_workload_subset(self, prov_prepared):
+        result = run_workload(prov_prepared, query_ids=["Q5", "Q6"])
+        assert {r.query_id for r in result.runtimes} == {"Q5", "Q6"}
+        assert {r.mode for r in result.runtimes} == {"filter", "connector"}
+
+    def test_counts_match_graph_sizes(self, prov_prepared):
+        result = run_workload(prov_prepared, query_ids=["Q5", "Q6"])
+        q5_filter = result.runtime("Q5", "filter")
+        q6_filter = result.runtime("Q6", "filter")
+        assert q5_filter.result_size == 1
+        assert q6_filter.result_size == 1
+
+    def test_traversal_queries_run_both_modes(self, prov_prepared):
+        result = run_workload(prov_prepared, query_ids=["Q2", "Q3"])
+        for query_id in ("Q2", "Q3"):
+            assert result.runtime(query_id, "filter") is not None
+            assert result.runtime(query_id, "connector") is not None
+            assert result.speedup(query_id) is not None
+
+    def test_q1_blast_radius_runs_on_prov(self, prov_prepared):
+        result = run_workload(prov_prepared, query_ids=["Q1"])
+        assert result.runtime("Q1", "filter").result_size > 0
+        assert result.runtime("Q1", "connector").result_size > 0
+
+    def test_community_queries_run(self, roadnet_prepared):
+        result = run_workload(roadnet_prepared, query_ids=["Q7", "Q8"])
+        assert result.runtime("Q7", "raw") is not None
+        assert result.runtime("Q8", "connector") is not None
+
+    def test_speedup_none_for_missing_query(self, prov_prepared):
+        result = run_workload(prov_prepared, query_ids=["Q5"])
+        assert result.speedup("Q4") is None
