@@ -7,6 +7,9 @@ analytics queries, and rewrites incoming queries over the materialized views.
 The package is organized as:
 
 * :mod:`repro.graph` — property-graph substrate (the Neo4j-storage role),
+* :mod:`repro.storage` — pluggable physical storage: the abstract
+  ``GraphStore`` interface, read-optimized CSR snapshots, persistent
+  materialized-view storage, and the backend-selecting ``StorageManager``,
 * :mod:`repro.inference` — Prolog-like inference engine (the SWI-Prolog role),
 * :mod:`repro.query` — Cypher-like query language, executor, and cost model,
 * :mod:`repro.views` — connector/summarizer views, catalog, and maintenance,
@@ -34,7 +37,24 @@ Quickstart::
 """
 
 from repro.core.kaskade import Kaskade, MaterializationReport, QueryOutcome
+from repro.storage import (
+    CSRGraphStore,
+    GraphStore,
+    PersistentViewStore,
+    StorageManager,
+    StoragePolicy,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["Kaskade", "MaterializationReport", "QueryOutcome", "__version__"]
+__all__ = [
+    "CSRGraphStore",
+    "GraphStore",
+    "Kaskade",
+    "MaterializationReport",
+    "PersistentViewStore",
+    "QueryOutcome",
+    "StorageManager",
+    "StoragePolicy",
+    "__version__",
+]

@@ -13,9 +13,10 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.graph.property_graph import PropertyGraph, VertexId
+from repro.storage.base import GraphLike
 
 
-def label_propagation(graph: PropertyGraph, passes: int = 25, seed: int = 0,
+def label_propagation(graph: GraphLike, passes: int = 25, seed: int = 0,
                       write_property: str | None = "community"
                       ) -> dict[VertexId, VertexId]:
     """Synchronous label propagation for a fixed number of passes (Q7).
@@ -82,7 +83,7 @@ class CommunitySummary:
         return dict(self.member_count_by_type).get(vertex_type, 0)
 
 
-def communities(graph: PropertyGraph,
+def communities(graph: GraphLike,
                 labels: Mapping[VertexId, VertexId] | None = None,
                 label_property: str = "community") -> list[CommunitySummary]:
     """Group vertices by community label and summarize each community."""
@@ -105,7 +106,7 @@ def communities(graph: PropertyGraph,
     return summaries
 
 
-def largest_community(graph: PropertyGraph,
+def largest_community(graph: GraphLike,
                       labels: Mapping[VertexId, VertexId] | None = None,
                       by_vertex_type: str | None = "Job",
                       label_property: str = "community") -> CommunitySummary | None:
@@ -118,7 +119,7 @@ def largest_community(graph: PropertyGraph,
     return max(summaries, key=lambda s: (s.count_of_type(by_vertex_type), s.size))
 
 
-def community_subgraph(graph: PropertyGraph, label: VertexId,
+def community_subgraph(graph: GraphLike, label: VertexId,
                        labels: Mapping[VertexId, VertexId] | None = None,
                        label_property: str = "community") -> PropertyGraph:
     """The induced subgraph of one community (Q8 returns a subgraph)."""

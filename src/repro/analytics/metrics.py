@@ -9,15 +9,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.graph.property_graph import PropertyGraph
+from repro.storage.base import GraphLike
 
 
-def edge_count(graph: PropertyGraph, label: str | None = None) -> int:
+def edge_count(graph: GraphLike, label: str | None = None) -> int:
     """Q5: number of edges (optionally of one label)."""
     return graph.count_edges(label)
 
 
-def vertex_count(graph: PropertyGraph, vertex_type: str | None = None) -> int:
+def vertex_count(graph: GraphLike, vertex_type: str | None = None) -> int:
     """Q6: number of vertices (optionally of one type)."""
     return graph.count_vertices(vertex_type)
 
@@ -35,7 +35,7 @@ class GraphSummary:
     mean_out_degree: float
 
 
-def summarize(graph: PropertyGraph) -> GraphSummary:
+def summarize(graph: GraphLike) -> GraphSummary:
     """Compute a :class:`GraphSummary` for reports."""
     degrees = [graph.out_degree(v.id) for v in graph.vertices()]
     return GraphSummary(

@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.graph.property_graph import PropertyGraph, VertexId
+from repro.graph.property_graph import VertexId
+from repro.storage.base import GraphLike
 
 
 @dataclass(frozen=True)
@@ -23,7 +24,7 @@ class PathLengthEntry:
     weight: float
 
 
-def path_lengths(graph: PropertyGraph, source: VertexId, max_hops: int = 4,
+def path_lengths(graph: GraphLike, source: VertexId, max_hops: int = 4,
                  weight_property: str = "timestamp", default_weight: float = 1.0,
                  aggregate: str = "max") -> list[PathLengthEntry]:
     """Weighted distances from ``source`` to its forward ``max_hops`` neighbourhood.
@@ -76,7 +77,7 @@ def path_lengths(graph: PropertyGraph, source: VertexId, max_hops: int = 4,
     return entries
 
 
-def all_path_lengths(graph: PropertyGraph, max_hops: int = 4,
+def all_path_lengths(graph: GraphLike, max_hops: int = 4,
                      anchors: Iterable[VertexId] | None = None,
                      weight_property: str = "timestamp") -> dict[VertexId, list[PathLengthEntry]]:
     """Q4 over a set of anchors (defaults to every vertex — expensive on purpose)."""

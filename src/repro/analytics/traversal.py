@@ -11,10 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
-from repro.graph.property_graph import PropertyGraph, VertexId
+from repro.graph.property_graph import VertexId
+from repro.storage.base import GraphLike
 
 
-def k_hop_neighborhood(graph: PropertyGraph, source: VertexId, max_hops: int,
+def k_hop_neighborhood(graph: GraphLike, source: VertexId, max_hops: int,
                        direction: str = "out",
                        edge_labels: Iterable[str] | None = None,
                        include_source: bool = False) -> dict[VertexId, int]:
@@ -51,33 +52,41 @@ def k_hop_neighborhood(graph: PropertyGraph, source: VertexId, max_hops: int,
     return distances
 
 
-def _neighbors(graph: PropertyGraph, vertex_id: VertexId, direction: str,
+def _neighbors(graph: GraphLike, vertex_id: VertexId, direction: str,
                allowed: set[str] | None) -> Iterable[VertexId]:
+    # The unfiltered case goes through successors/predecessors, which on a
+    # CSR store is a contiguous slice — the traversal hot path.
     if direction in ("out", "both"):
-        for edge in graph.out_edges(vertex_id):
-            if allowed is None or edge.label in allowed:
-                yield edge.target
+        if allowed is None:
+            yield from graph.successors(vertex_id)
+        else:
+            for edge in graph.out_edges(vertex_id):
+                if edge.label in allowed:
+                    yield edge.target
     if direction in ("in", "both"):
-        for edge in graph.in_edges(vertex_id):
-            if allowed is None or edge.label in allowed:
-                yield edge.source
+        if allowed is None:
+            yield from graph.predecessors(vertex_id)
+        else:
+            for edge in graph.in_edges(vertex_id):
+                if edge.label in allowed:
+                    yield edge.source
 
 
-def descendants(graph: PropertyGraph, source: VertexId, max_hops: int,
+def descendants(graph: GraphLike, source: VertexId, max_hops: int,
                 vertex_type: str | None = None) -> set[VertexId]:
     """Forward data lineage of a vertex, optionally restricted to one type (Q3)."""
     reached = k_hop_neighborhood(graph, source, max_hops, direction="out")
     return _filter_by_type(graph, reached, vertex_type)
 
 
-def ancestors(graph: PropertyGraph, source: VertexId, max_hops: int,
+def ancestors(graph: GraphLike, source: VertexId, max_hops: int,
               vertex_type: str | None = None) -> set[VertexId]:
     """Backward data lineage of a vertex, optionally restricted to one type (Q2)."""
     reached = k_hop_neighborhood(graph, source, max_hops, direction="in")
     return _filter_by_type(graph, reached, vertex_type)
 
 
-def _filter_by_type(graph: PropertyGraph, reached: dict[VertexId, int],
+def _filter_by_type(graph: GraphLike, reached: dict[VertexId, int],
                     vertex_type: str | None) -> set[VertexId]:
     if vertex_type is None:
         return set(reached)
@@ -94,7 +103,7 @@ class BlastRadiusEntry:
     average_cpu: float
 
 
-def blast_radius(graph: PropertyGraph, max_hops: int = 10,
+def blast_radius(graph: GraphLike, max_hops: int = 10,
                  job_type: str = "Job", cpu_property: str = "cpu",
                  anchors: Iterable[VertexId] | None = None) -> list[BlastRadiusEntry]:
     """Job blast radius (Q1): for every job, the CPU cost of its downstream jobs.
@@ -131,7 +140,7 @@ def blast_radius(graph: PropertyGraph, max_hops: int = 10,
     return entries
 
 
-def blast_radius_by_pipeline(graph: PropertyGraph, max_hops: int = 10,
+def blast_radius_by_pipeline(graph: GraphLike, max_hops: int = 10,
                              pipeline_property: str = "pipelineName") -> dict[str, float]:
     """The outer aggregation of Listing 1: average downstream CPU per pipeline."""
     totals: dict[str, list[float]] = {}

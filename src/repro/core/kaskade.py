@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.core.cost_model import CandidateAssessment, ViewCostModel
+from repro.errors import ViewError
 from repro.core.enumerator import EnumerationResult, ViewEnumerator
 from repro.core.estimator import DEFAULT_ALPHA
 from repro.core.rewriter import QueryRewriter, RewrittenQuery
@@ -35,6 +36,9 @@ from repro.query.ast import GraphQuery
 from repro.query.cost import QueryCostModel
 from repro.query.executor import ExecutionResult, QueryExecutor
 from repro.query.parser import parse_query
+from repro.storage.base import GraphLike
+from repro.storage.manager import StorageManager
+from repro.storage.persistent import PersistentViewStore
 from repro.views.catalog import MaterializedView, ViewCatalog
 from repro.views.definitions import ConnectorView, SummarizerView
 
@@ -73,7 +77,8 @@ class Kaskade:
     def __init__(self, graph: PropertyGraph, schema: GraphSchema | None = None,
                  alpha: float = DEFAULT_ALPHA,
                  knapsack_method: str = "branch_and_bound",
-                 materialization_max_paths: int | None = None) -> None:
+                 materialization_max_paths: int | None = None,
+                 storage: StorageManager | None = None) -> None:
         """Create a KASKADE instance for one base graph.
 
         Args:
@@ -83,11 +88,15 @@ class Kaskade:
             knapsack_method: Solver used for view selection.
             materialization_max_paths: Optional cap on paths contracted per
                 connector view (protects dense homogeneous graphs).
+            storage: Storage manager owning backend selection (freeze-to-CSR
+                for read-mostly graphs and views, optional view persistence);
+                a default-policy manager is created when omitted.
         """
         self.graph = graph
         self.schema = schema or graph.infer_schema()
         self.alpha = alpha
-        self.catalog = ViewCatalog()
+        self.storage = storage or StorageManager()
+        self.catalog = ViewCatalog(storage=self.storage)
         self.enumerator = ViewEnumerator(self.schema)
         self.statistics = compute_statistics(graph)
         self.cost_model = ViewCostModel(self.statistics, alpha=alpha, schema=self.schema)
@@ -173,7 +182,8 @@ class Kaskade:
         start = time.perf_counter()
         rewrite = self.rewrite(query) if use_views else None
         if rewrite is None:
-            result = QueryExecutor(self.graph, max_bindings=max_bindings).execute(query)
+            base = self.storage.store_for(self.graph)
+            result = QueryExecutor(base, max_bindings=max_bindings).execute(query)
             return QueryOutcome(query=query, result=result,
                                 elapsed_seconds=time.perf_counter() - start)
         view = self.catalog.get(rewrite.candidate.definition)
@@ -186,18 +196,51 @@ class Kaskade:
         """Parse and execute query text."""
         return self.execute(self.parse(text, name=name), use_views=use_views)
 
-    def _target_graph(self, rewrite: RewrittenQuery, view: MaterializedView) -> PropertyGraph:
+    def _target_graph(self, rewrite: RewrittenQuery, view: MaterializedView) -> GraphLike:
         """Pick the graph the rewritten query should run against.
 
         Summarizer rewrites run on the summarized graph.  Connector rewrites
         run on the connector graph when every edge pattern uses the connector's
         label; otherwise (mixed rewrites keeping a prefix/suffix of raw-graph
         hops) they run on the union of the base graph and the connector edges.
+        Whenever the query runs wholly on the view, the view's read-optimized
+        snapshot (if the storage manager attached one) serves it.
         """
         definition = rewrite.candidate.definition
         if isinstance(definition, SummarizerView):
-            return view.graph
+            return view.read_store()
         labels = {edge.label for edge in rewrite.rewritten.edge_patterns()}
         if labels <= {definition.output_label}:
-            return view.graph
+            return view.read_store()
         return union(self.graph, view.graph, name=f"{self.graph.name}+{definition.name}")
+
+    # -------------------------------------------------------------- durability
+    def _persistent_store(self, path, backend: str | None) -> PersistentViewStore:
+        """Resolve the persistent store: an explicit path wins, otherwise the
+        storage manager's attached store (``StorageManager(persist_path=...)``)."""
+        if path is not None:
+            return PersistentViewStore(path, backend=backend)
+        if self.storage.persistent is not None:
+            return self.storage.persistent
+        raise ViewError(
+            "no persistence target: pass a path, or create the Kaskade instance "
+            "with storage=StorageManager(persist_path=...)")
+
+    def persist_views(self, path=None, backend: str | None = None) -> PersistentViewStore:
+        """Snapshot the current view catalog to disk; returns the store used."""
+        store = self._persistent_store(path, backend)
+        store.save_catalog(self.catalog)
+        return store
+
+    def restore_views(self, path=None, backend: str | None = None) -> int:
+        """Reload previously persisted views into the catalog.
+
+        Returns the number of views restored.  Restored views flow through
+        :meth:`ViewCatalog.register`, so the storage manager freezes eligible
+        ones just like fresh materializations.
+        """
+        store = self._persistent_store(path, backend)
+        views = store.load_views()
+        for view in views:
+            self.catalog.register(view)
+        return len(views)

@@ -100,6 +100,9 @@ class PropertyGraph:
         self._vertices: dict[VertexId, Vertex] = {}
         self._edges: dict[EdgeId, Edge] = {}
         self._next_edge_id: EdgeId = 0
+        # Monotonic counter bumped on every topological mutation; consumers
+        # (statistics memoization, CSR snapshots) use it for invalidation.
+        self._version: int = 0
         self._out: dict[VertexId, list[EdgeId]] = {}
         self._in: dict[VertexId, list[EdgeId]] = {}
         # Insertion-ordered per-type / per-label indexes (dicts as ordered sets)
@@ -120,6 +123,17 @@ class PropertyGraph:
 
     def __len__(self) -> int:
         return self.num_vertices
+
+    @property
+    def version(self) -> int:
+        """Monotonic topology-mutation counter.
+
+        Incremented whenever a vertex or edge is inserted or removed (vertex
+        property merges do not count — they change no topology or typing).
+        Derived read-optimized structures record the version they were built
+        at and treat a mismatch as staleness.
+        """
+        return self._version
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -149,6 +163,7 @@ class PropertyGraph:
             existing.properties.update(properties)
             return existing
         vertex = Vertex(id=vertex_id, type=vertex_type, properties=dict(properties))
+        self._version += 1
         self._vertices[vertex_id] = vertex
         self._out[vertex_id] = []
         self._in[vertex_id] = []
@@ -200,6 +215,7 @@ class PropertyGraph:
         for edge_id in list(self._out[vertex_id]) + list(self._in[vertex_id]):
             if edge_id in self._edges:
                 self.remove_edge(edge_id)
+        self._version += 1
         del self._vertices[vertex_id]
         del self._out[vertex_id]
         del self._in[vertex_id]
@@ -230,6 +246,7 @@ class PropertyGraph:
         self._next_edge_id += 1
         edge = Edge(id=edge_id, source=source, target=target, label=label,
                     properties=dict(properties))
+        self._version += 1
         self._edges[edge_id] = edge
         self._out[source].append(edge_id)
         self._in[target].append(edge_id)
@@ -278,6 +295,7 @@ class PropertyGraph:
     def remove_edge(self, edge_id: EdgeId) -> None:
         """Remove an edge by id."""
         edge = self.edge(edge_id)
+        self._version += 1
         del self._edges[edge_id]
         self._out[edge.source].remove(edge_id)
         self._in[edge.target].remove(edge_id)

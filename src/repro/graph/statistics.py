@@ -14,6 +14,7 @@ CCDF and power-law fit used by Fig. 8.
 from __future__ import annotations
 
 import math
+import weakref
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
@@ -100,16 +101,52 @@ class GraphStatistics:
         ]
 
 
+# Memoized statistics per live graph: ``graph -> {percentiles: (version, stats)}``.
+# Weak keys keep the cache from pinning graphs in memory; entries are
+# invalidated by comparing the graph's topology ``version`` counter, so
+# repeated cost-model calls (e.g. ``QueryCostModel.for_graph`` on every
+# rewrite assessment) stop recomputing full degree scans while mutations
+# still force a fresh computation.
+_STATS_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
 def compute_statistics(
     graph: PropertyGraph,
     percentiles: Iterable[float] = DEFAULT_PERCENTILES,
+    use_cache: bool = True,
 ) -> GraphStatistics:
     """Compute per-type out-degree summaries for ``graph``.
 
     The pseudo-type ``"*"`` aggregates over all vertices, which is what the
     homogeneous estimator (Eq. 2) uses.
+
+    Results are memoized per ``(graph, percentiles)`` and invalidated through
+    the graph's ``version`` mutation counter; pass ``use_cache=False`` to
+    force a fresh scan.  The returned object is shared between callers —
+    treat it as read-only.
     """
     wanted = tuple(percentiles)
+    version = getattr(graph, "version", None)
+    cacheable = use_cache and version is not None
+    if cacheable:
+        try:
+            cached = _STATS_CACHE.get(graph, {}).get(wanted)
+        except TypeError:  # unhashable / non-weakref-able graph object
+            cacheable = False
+            cached = None
+        if cached is not None and cached[0] == version:
+            return cached[1]
+    stats = _compute_statistics(graph, wanted)
+    if cacheable:
+        try:
+            _STATS_CACHE.setdefault(graph, {})[wanted] = (version, stats)
+        except TypeError:  # pragma: no cover - defensive
+            pass
+    return stats
+
+
+def _compute_statistics(graph: PropertyGraph, wanted: tuple[float, ...]
+                        ) -> GraphStatistics:
     stats = GraphStatistics(
         graph_name=graph.name,
         total_vertices=graph.num_vertices,

@@ -19,6 +19,7 @@ from typing import Any, Iterator, Mapping, Sequence
 
 from repro.errors import QueryExecutionError
 from repro.graph.property_graph import PropertyGraph, Vertex, VertexId
+from repro.storage.base import GraphLike
 from repro.query.ast import (
     Condition,
     EdgePattern,
@@ -67,11 +68,11 @@ class ExecutionResult:
 class QueryExecutor:
     """Evaluates graph-pattern queries against a property graph."""
 
-    def __init__(self, graph: PropertyGraph, max_bindings: int | None = None) -> None:
+    def __init__(self, graph: GraphLike, max_bindings: int | None = None) -> None:
         """Create an executor.
 
         Args:
-            graph: Graph to evaluate queries against.
+            graph: Graph (or read-optimized store) to evaluate queries against.
             max_bindings: Optional safety cap on the number of pattern bindings
                 explored (raises :class:`QueryExecutionError` when exceeded),
                 protecting benchmarks from runaway cartesian products.
@@ -335,7 +336,7 @@ def _distinct_rows(rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
     return seen
 
 
-def execute_query(graph: PropertyGraph, query: GraphQuery,
+def execute_query(graph: GraphLike, query: GraphQuery,
                   max_bindings: int | None = None) -> ExecutionResult:
     """Convenience wrapper: evaluate ``query`` against ``graph``."""
     return QueryExecutor(graph, max_bindings=max_bindings).execute(query)

@@ -1,0 +1,241 @@
+"""Abstract graph storage interface.
+
+The paper delegates physical graph storage to an external engine (Neo4j,
+§II, §VII-A) while the optimizer reasons about graphs and views abstractly.
+This module introduces the same separation inside the reproduction: a
+:class:`GraphStore` captures the *read* operations the analytics, the query
+executor, and the view machinery need — vertex/edge iteration, typed
+adjacency lookup, degree, and neighbor expansion — so that callers can run
+unchanged against any physical representation (the mutable dict-based
+:class:`~repro.graph.property_graph.PropertyGraph`, the read-optimized
+:class:`~repro.storage.csr.CSRGraphStore`, or future backends).
+
+:class:`PropertyGraph` already implements this surface; the protocol here is
+the contract new backends must satisfy, and :class:`PropertyGraphStore` is
+the trivial adapter that makes the dict graph a first-class store.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Iterator, Union
+
+from repro.graph.property_graph import Edge, PropertyGraph, Vertex, VertexId
+
+
+class GraphStore(abc.ABC):
+    """Read interface over a physical graph representation.
+
+    The method names and semantics deliberately mirror the read surface of
+    :class:`~repro.graph.property_graph.PropertyGraph`, so every consumer in
+    the codebase (analytics, executor, statistics, view materialization) can
+    accept either a raw ``PropertyGraph`` or any ``GraphStore`` — the union is
+    exported as :data:`GraphLike`.
+    """
+
+    name: str
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    @abc.abstractmethod
+    def num_vertices(self) -> int:
+        """Number of vertices in the store."""
+
+    @property
+    @abc.abstractmethod
+    def num_edges(self) -> int:
+        """Number of edges in the store."""
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    # --------------------------------------------------------------- vertices
+    @abc.abstractmethod
+    def has_vertex(self, vertex_id: VertexId) -> bool:
+        """Whether the vertex id is present."""
+
+    @abc.abstractmethod
+    def vertex(self, vertex_id: VertexId) -> Vertex:
+        """Look up a vertex by id (raises ``VertexNotFoundError`` when absent)."""
+
+    @abc.abstractmethod
+    def vertices(self, vertex_type: str | None = None) -> Iterator[Vertex]:
+        """Iterate vertices, optionally restricted to one type."""
+
+    @abc.abstractmethod
+    def vertex_ids(self, vertex_type: str | None = None) -> list[VertexId]:
+        """Vertex ids, optionally restricted to one type."""
+
+    @abc.abstractmethod
+    def vertex_types(self) -> list[str]:
+        """Distinct vertex types present in the data."""
+
+    @abc.abstractmethod
+    def count_vertices(self, vertex_type: str | None = None) -> int:
+        """Count vertices, optionally restricted to one type."""
+
+    # ------------------------------------------------------------------ edges
+    @abc.abstractmethod
+    def edges(self, label: str | None = None) -> Iterator[Edge]:
+        """Iterate edges, optionally restricted to one label."""
+
+    @abc.abstractmethod
+    def edge_labels(self) -> list[str]:
+        """Distinct edge labels present in the data."""
+
+    @abc.abstractmethod
+    def count_edges(self, label: str | None = None) -> int:
+        """Count edges, optionally restricted to one label."""
+
+    # -------------------------------------------------------------- adjacency
+    @abc.abstractmethod
+    def out_edges(self, vertex_id: VertexId, label: str | None = None) -> Iterable[Edge]:
+        """Outgoing edges of a vertex, optionally restricted to one label."""
+
+    @abc.abstractmethod
+    def in_edges(self, vertex_id: VertexId, label: str | None = None) -> Iterable[Edge]:
+        """Incoming edges of a vertex, optionally restricted to one label."""
+
+    @abc.abstractmethod
+    def successors(self, vertex_id: VertexId, label: str | None = None
+                   ) -> Iterable[VertexId]:
+        """Target ids of outgoing edges (with duplicates for parallel edges)."""
+
+    @abc.abstractmethod
+    def predecessors(self, vertex_id: VertexId, label: str | None = None
+                     ) -> Iterable[VertexId]:
+        """Source ids of incoming edges (with duplicates for parallel edges)."""
+
+    @abc.abstractmethod
+    def out_degree(self, vertex_id: VertexId, label: str | None = None) -> int:
+        """Number of outgoing edges of a vertex (optionally per label)."""
+
+    @abc.abstractmethod
+    def in_degree(self, vertex_id: VertexId, label: str | None = None) -> int:
+        """Number of incoming edges of a vertex (optionally per label)."""
+
+    # ----------------------------------------------------- derived operations
+    def degree(self, vertex_id: VertexId) -> int:
+        """Total degree (in + out)."""
+        return self.in_degree(vertex_id) + self.out_degree(vertex_id)
+
+    def neighbors(self, vertex_id: VertexId) -> set[VertexId]:
+        """Distinct undirected neighbors of a vertex."""
+        return set(self.successors(vertex_id)) | set(self.predecessors(vertex_id))
+
+    def has_edge(self, source: VertexId, target: VertexId,
+                 label: str | None = None) -> bool:
+        """Whether at least one ``source -> target`` edge (with ``label``) exists."""
+        if not self.has_vertex(source):
+            return False
+        return any(t == target for t in self.successors(source, label))
+
+
+#: Anything the read-only consumers of a graph accept: the mutable dict graph
+#: or any pluggable store.  ``PropertyGraph`` satisfies the ``GraphStore``
+#: surface structurally (duck typing), it just does not inherit from the ABC.
+GraphLike = Union[PropertyGraph, GraphStore]
+
+
+class PropertyGraphStore(GraphStore):
+    """Adapter exposing a mutable :class:`PropertyGraph` through the store API.
+
+    All calls delegate to the wrapped graph, so the adapter sees mutations
+    immediately; it exists so code paths that require an actual
+    :class:`GraphStore` instance (e.g. uniform bookkeeping in the
+    :class:`~repro.storage.manager.StorageManager`) can treat the dict graph
+    like any other backend.
+    """
+
+    backend = "dict"
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        self.graph = graph
+        self.name = graph.name
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def version(self) -> int:
+        """Mutation counter of the underlying graph (for cache invalidation)."""
+        return self.graph.version
+
+    def has_vertex(self, vertex_id: VertexId) -> bool:
+        return self.graph.has_vertex(vertex_id)
+
+    def vertex(self, vertex_id: VertexId) -> Vertex:
+        return self.graph.vertex(vertex_id)
+
+    def vertices(self, vertex_type: str | None = None) -> Iterator[Vertex]:
+        return self.graph.vertices(vertex_type)
+
+    def vertex_ids(self, vertex_type: str | None = None) -> list[VertexId]:
+        return self.graph.vertex_ids(vertex_type)
+
+    def vertex_types(self) -> list[str]:
+        return self.graph.vertex_types()
+
+    def count_vertices(self, vertex_type: str | None = None) -> int:
+        return self.graph.count_vertices(vertex_type)
+
+    def edges(self, label: str | None = None) -> Iterator[Edge]:
+        return self.graph.edges(label)
+
+    def edge_labels(self) -> list[str]:
+        return self.graph.edge_labels()
+
+    def count_edges(self, label: str | None = None) -> int:
+        return self.graph.count_edges(label)
+
+    def out_edges(self, vertex_id: VertexId, label: str | None = None) -> Iterable[Edge]:
+        return self.graph.out_edges(vertex_id, label)
+
+    def in_edges(self, vertex_id: VertexId, label: str | None = None) -> Iterable[Edge]:
+        return self.graph.in_edges(vertex_id, label)
+
+    def successors(self, vertex_id: VertexId, label: str | None = None
+                   ) -> Iterable[VertexId]:
+        return self.graph.successors(vertex_id, label)
+
+    def predecessors(self, vertex_id: VertexId, label: str | None = None
+                     ) -> Iterable[VertexId]:
+        return self.graph.predecessors(vertex_id, label)
+
+    def out_degree(self, vertex_id: VertexId, label: str | None = None) -> int:
+        return self.graph.out_degree(vertex_id, label)
+
+    def in_degree(self, vertex_id: VertexId, label: str | None = None) -> int:
+        return self.graph.in_degree(vertex_id, label)
+
+    def has_edge(self, source: VertexId, target: VertexId,
+                 label: str | None = None) -> bool:
+        return self.graph.has_edge(source, target, label)
+
+    def estimated_footprint(self, bytes_per_vertex: int = 64,
+                            bytes_per_edge: int = 48) -> int:
+        return self.graph.estimated_footprint(bytes_per_vertex, bytes_per_edge)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PropertyGraphStore({self.graph!r})"
+
+
+def ensure_store(graph: GraphLike) -> GraphStore:
+    """Wrap a :class:`PropertyGraph` in an adapter; pass stores through."""
+    if isinstance(graph, GraphStore):
+        return graph
+    return PropertyGraphStore(graph)
+
+
+def underlying_graph(graph: GraphLike) -> PropertyGraph | None:
+    """The mutable ``PropertyGraph`` behind a store, when there is one."""
+    if isinstance(graph, PropertyGraph):
+        return graph
+    if isinstance(graph, PropertyGraphStore):
+        return graph.graph
+    return None

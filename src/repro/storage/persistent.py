@@ -1,0 +1,226 @@
+"""Durable storage for materialized views.
+
+The paper materializes views as physical data objects inside the graph engine
+(§III-C); in this reproduction the :class:`~repro.views.catalog.ViewCatalog`
+lived only in process memory, so every restart re-paid the full
+materialization cost.  :class:`PersistentViewStore` fixes that: it snapshots a
+catalog — each view's definition, materialized graph, and measured creation
+cost — to disk and reloads it, so a catalog survives process restarts and
+large view sets can spill out of memory.
+
+Two interchangeable backends are provided:
+
+* ``jsonl`` — one JSON record per view per line; human-inspectable, diffable,
+  and trivially streamable.
+* ``sqlite`` — a single-table SQLite database keyed by view signature;
+  supports per-view upsert/delete without rewriting the whole file.
+
+The backend is inferred from the path suffix (``.db`` / ``.sqlite`` /
+``.sqlite3`` select SQLite, anything else JSONL) unless given explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from contextlib import closing
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import ViewError
+from repro.graph.io import graph_from_dict, graph_to_dict
+from repro.views.catalog import MaterializedView, ViewCatalog
+from repro.views.definitions import (
+    ViewDefinition,
+    definition_from_dict,
+    definition_to_dict,
+)
+
+#: Path suffixes that select the SQLite backend when none is given.
+_SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+#: Supported backend names.
+BACKENDS = ("jsonl", "sqlite")
+
+
+def _signature_key(definition: ViewDefinition) -> str:
+    """Stable string form of a definition signature (usable as a DB key)."""
+    return json.dumps(definition.signature(), default=str)
+
+
+def _view_to_record(view: MaterializedView) -> dict[str, Any]:
+    return {
+        "definition": definition_to_dict(view.definition),
+        "graph": graph_to_dict(view.graph),
+        "creation_seconds": view.creation_seconds,
+    }
+
+
+def _view_from_record(record: dict[str, Any]) -> MaterializedView:
+    definition = definition_from_dict(record["definition"])
+    graph = graph_from_dict(record["graph"])
+    return MaterializedView(
+        definition=definition,
+        graph=graph,
+        creation_seconds=record.get("creation_seconds", 0.0),
+    )
+
+
+class PersistentViewStore:
+    """Disk-backed snapshot + reload of materialized views.
+
+    Example:
+        >>> store = PersistentViewStore("/tmp/views.jsonl")  # doctest: +SKIP
+        >>> store.save_catalog(catalog)                      # doctest: +SKIP
+        >>> restored = store.load_catalog()                  # doctest: +SKIP
+    """
+
+    def __init__(self, path: str | Path, backend: str | None = None) -> None:
+        """Open (or create) a persistent store at ``path``.
+
+        Args:
+            path: Target file.  Parent directories are created on first write.
+            backend: ``"jsonl"`` or ``"sqlite"``; inferred from the path
+                suffix when omitted.
+        """
+        self.path = Path(path)
+        if backend is None:
+            backend = "sqlite" if self.path.suffix.lower() in _SQLITE_SUFFIXES else "jsonl"
+        if backend not in BACKENDS:
+            raise ViewError(f"unknown persistence backend {backend!r}; expected one of {BACKENDS}")
+        self.backend = backend
+
+    # ----------------------------------------------------------- catalog level
+    def save_catalog(self, catalog: ViewCatalog) -> int:
+        """Replace the stored snapshot with the catalog's current views.
+
+        Returns the number of views written.
+        """
+        views = list(catalog)
+        records = {_signature_key(v.definition): _view_to_record(v) for v in views}
+        self._write_all(records)
+        return len(views)
+
+    def load_catalog(self, catalog: ViewCatalog | None = None) -> ViewCatalog:
+        """Reload every stored view into ``catalog`` (a fresh one by default)."""
+        catalog = catalog if catalog is not None else ViewCatalog()
+        for view in self.load_views():
+            catalog.register(view)
+        return catalog
+
+    def load_views(self) -> list[MaterializedView]:
+        """Materialized views currently stored on disk."""
+        return [_view_from_record(record) for _, record in self._read_all()]
+
+    # -------------------------------------------------------------- view level
+    def save_view(self, view: MaterializedView) -> None:
+        """Insert or replace a single view (keyed by definition signature)."""
+        key = _signature_key(view.definition)
+        record = _view_to_record(view)
+        if self.backend == "sqlite":
+            with closing(self._connect()) as conn, conn:
+                conn.execute(
+                    "INSERT OR REPLACE INTO views (signature, name, payload) "
+                    "VALUES (?, ?, ?)",
+                    (key, view.definition.name, json.dumps(record)),
+                )
+            return
+        records = dict(self._read_all())
+        records[key] = record
+        self._write_all(records)
+
+    def delete_view(self, definition: ViewDefinition) -> bool:
+        """Remove one stored view; returns whether it was present."""
+        key = _signature_key(definition)
+        if self.backend == "sqlite":
+            with closing(self._connect()) as conn, conn:
+                cursor = conn.execute("DELETE FROM views WHERE signature = ?", (key,))
+                return cursor.rowcount > 0
+        records = dict(self._read_all())
+        if key not in records:
+            return False
+        del records[key]
+        self._write_all(records)
+        return True
+
+    def clear(self) -> None:
+        """Drop every stored view."""
+        self._write_all({})
+
+    # -------------------------------------------------------------- inspection
+    def view_names(self) -> list[str]:
+        """Names of the stored views (without loading the graphs)."""
+        if self.backend == "sqlite":
+            if not self.path.exists():
+                return []
+            with closing(self._connect()) as conn, conn:
+                return [row[0] for row in conn.execute(
+                    "SELECT name FROM views ORDER BY rowid")]
+        return [record["definition"]["name"] for _, record in self._read_all()]
+
+    def __len__(self) -> int:
+        if self.backend == "sqlite":
+            if not self.path.exists():
+                return 0
+            with closing(self._connect()) as conn, conn:
+                return conn.execute("SELECT COUNT(*) FROM views").fetchone()[0]
+        return sum(1 for _ in self._read_all())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PersistentViewStore(path={str(self.path)!r}, backend={self.backend!r})"
+
+    # ------------------------------------------------------------ jsonl plumbing
+    def _read_all(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        if self.backend == "sqlite":
+            if not self.path.exists():
+                return
+            with closing(self._connect()) as conn, conn:
+                rows = conn.execute(
+                    "SELECT signature, payload FROM views ORDER BY rowid").fetchall()
+            for signature, payload in rows:
+                yield signature, json.loads(payload)
+            return
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                key = record.pop("signature", None)
+                if key is None:
+                    key = _signature_key(definition_from_dict(record["definition"]))
+                yield key, record
+
+    def _write_all(self, records: dict[str, dict[str, Any]]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.backend == "sqlite":
+            with closing(self._connect()) as conn, conn:
+                conn.execute("DELETE FROM views")
+                conn.executemany(
+                    "INSERT INTO views (signature, name, payload) VALUES (?, ?, ?)",
+                    [
+                        (key, record["definition"]["name"], json.dumps(record))
+                        for key, record in records.items()
+                    ],
+                )
+            return
+        # Atomic whole-file rewrite: write a sibling temp file, then rename.
+        tmp_path = self.path.with_name(self.path.name + ".tmp")
+        with tmp_path.open("w", encoding="utf-8") as handle:
+            for key, record in records.items():
+                payload = {"signature": key, **record}
+                handle.write(json.dumps(payload) + "\n")
+        os.replace(tmp_path, self.path)
+
+    # ----------------------------------------------------------- sqlite plumbing
+    def _connect(self) -> sqlite3.Connection:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(self.path)
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS views ("
+            "signature TEXT PRIMARY KEY, name TEXT NOT NULL, payload TEXT NOT NULL)"
+        )
+        return conn

@@ -14,6 +14,8 @@ from repro.views.definitions import (
     SummarizerView,
     ViewDefinition,
     author_to_author_connector,
+    definition_from_dict,
+    definition_to_dict,
     job_to_job_connector,
     keep_types_summarizer,
     vertex_to_vertex_connector,
@@ -40,6 +42,8 @@ __all__ = [
     "author_to_author_connector",
     "count_connector_edges",
     "count_connector_paths",
+    "definition_from_dict",
+    "definition_to_dict",
     "job_to_job_connector",
     "keep_types_summarizer",
     "materialize_connector",

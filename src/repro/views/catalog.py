@@ -11,13 +11,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import ViewError, ViewNotMaterializedError
 from repro.graph.property_graph import PropertyGraph
 from repro.views.connectors import materialize_connector
 from repro.views.definitions import ConnectorView, SummarizerView, ViewDefinition
 from repro.views.summarizers import materialize_summarizer
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a storage <-> views import cycle
+    from repro.storage.base import GraphLike, GraphStore
+    from repro.storage.manager import StorageManager
 
 
 @dataclass
@@ -27,6 +31,9 @@ class MaterializedView:
     definition: ViewDefinition
     graph: PropertyGraph
     creation_seconds: float = 0.0
+    #: Optional read-optimized snapshot (e.g. CSR) attached by a
+    #: :class:`~repro.storage.manager.StorageManager`.
+    store: "GraphStore | None" = None
 
     @property
     def num_vertices(self) -> int:
@@ -45,6 +52,21 @@ class MaterializedView:
         """Estimated in-memory footprint in bytes (for space budgets)."""
         return self.graph.estimated_footprint()
 
+    def read_store(self) -> "GraphLike":
+        """The representation hot read paths should use.
+
+        Returns the attached read-optimized snapshot when it is still in sync
+        with the view graph; a stale snapshot (the view graph was mutated,
+        e.g. by incremental maintenance) is dropped and the mutable graph is
+        served instead.
+        """
+        store = self.store
+        if store is not None:
+            if getattr(store, "source_version", None) == self.graph.version:
+                return store
+            self.store = None
+        return self.graph
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"MaterializedView({self.definition.name!r}, vertices={self.num_vertices}, "
@@ -53,10 +75,16 @@ class MaterializedView:
 
 
 class ViewCatalog:
-    """The set of currently materialized views, keyed by definition signature."""
+    """The set of currently materialized views, keyed by definition signature.
 
-    def __init__(self) -> None:
+    When a :class:`~repro.storage.manager.StorageManager` is attached, the
+    catalog notifies it of every (re)materialization and registration so that
+    eligible view graphs are frozen into read-optimized snapshots.
+    """
+
+    def __init__(self, storage: "StorageManager | None" = None) -> None:
         self._views: dict[tuple, MaterializedView] = {}
+        self.storage = storage
 
     # ------------------------------------------------------------------ manage
     def materialize(self, graph: PropertyGraph, definition: ViewDefinition,
@@ -75,12 +103,14 @@ class ViewCatalog:
         elapsed = time.perf_counter() - start
         materialized = MaterializedView(definition=definition, graph=view_graph,
                                         creation_seconds=elapsed)
-        self._views[definition.signature()] = materialized
+        self.register(materialized)
         return materialized
 
     def register(self, view: MaterializedView) -> None:
         """Register an externally materialized view."""
         self._views[view.definition.signature()] = view
+        if self.storage is not None:
+            self.storage.on_materialized(view)
 
     def drop(self, definition: ViewDefinition) -> None:
         """Remove a view from the catalog.

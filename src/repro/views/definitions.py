@@ -218,6 +218,83 @@ class SummarizerView(ViewDefinition):
         )
 
 
+def definition_to_dict(definition: ViewDefinition) -> dict[str, Any]:
+    """Convert a view definition to a JSON-serializable dictionary.
+
+    The inverse is :func:`definition_from_dict`; together they let the
+    persistent view store (and any external tooling) round-trip catalog
+    contents without pickling.
+    """
+    if isinstance(definition, ConnectorView):
+        return {
+            "view_class": "connector",
+            "name": definition.name,
+            "connector_kind": definition.connector_kind,
+            "source_type": definition.source_type,
+            "target_type": definition.target_type,
+            "k": definition.k,
+            "max_hops": definition.max_hops,
+            "edge_label": definition.edge_label,
+            "output_label": definition.output_label,
+        }
+    if isinstance(definition, SummarizerView):
+        return {
+            "view_class": "summarizer",
+            "name": definition.name,
+            "summarizer_kind": definition.summarizer_kind,
+            "vertex_types": list(definition.vertex_types),
+            "edge_labels": list(definition.edge_labels),
+            "property_predicates": [list(p) for p in definition.property_predicates],
+            "group_by": definition.group_by,
+            "aggregations": [list(a) for a in definition.aggregations],
+        }
+    raise ViewError(f"cannot serialize view definition of type {type(definition)!r}")
+
+
+def _deep_tuple(value: Any) -> Any:
+    """Recursively convert lists to tuples (JSON round-trip loses tuple-ness).
+
+    Signatures must stay hashable, and predicate *values* may themselves be
+    sequences (e.g. ``("tags", "in", ("prod", "etl"))``).
+    """
+    if isinstance(value, list):
+        return tuple(_deep_tuple(item) for item in value)
+    return value
+
+
+def definition_from_dict(payload: Mapping[str, Any]) -> ViewDefinition:
+    """Inverse of :func:`definition_to_dict`.
+
+    JSON has no tuples, so sequence fields come back as lists and are
+    re-tupled here (recursively, for nested predicate values) — signatures of
+    reloaded definitions must compare equal to the originals and stay
+    hashable.
+    """
+    view_class = payload.get("view_class")
+    if view_class == "connector":
+        return ConnectorView(
+            name=payload["name"],
+            connector_kind=payload["connector_kind"],
+            source_type=payload.get("source_type"),
+            target_type=payload.get("target_type"),
+            k=payload.get("k"),
+            max_hops=payload.get("max_hops", 8),
+            edge_label=payload.get("edge_label"),
+            output_label=payload.get("output_label", ""),
+        )
+    if view_class == "summarizer":
+        return SummarizerView(
+            name=payload["name"],
+            summarizer_kind=payload["summarizer_kind"],
+            vertex_types=tuple(payload.get("vertex_types", ())),
+            edge_labels=tuple(payload.get("edge_labels", ())),
+            property_predicates=_deep_tuple(list(payload.get("property_predicates", ()))),
+            group_by=payload.get("group_by"),
+            aggregations=_deep_tuple(list(payload.get("aggregations", ()))),
+        )
+    raise ViewError(f"unknown view class {view_class!r} in serialized definition")
+
+
 def job_to_job_connector(k: int = 2, name: str | None = None) -> ConnectorView:
     """The paper's canonical job-to-job k-hop connector (Fig. 3c, Listing 4)."""
     return ConnectorView(

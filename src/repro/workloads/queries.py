@@ -23,7 +23,7 @@ from repro.analytics.community import label_propagation, largest_community
 from repro.analytics.metrics import edge_count, vertex_count
 from repro.analytics.paths import path_lengths
 from repro.analytics.traversal import ancestors, blast_radius, descendants, k_hop_neighborhood
-from repro.graph.property_graph import PropertyGraph
+from repro.storage.base import GraphLike
 
 #: Hop bound used by the blast radius query (Listing 1: jobs up to ~10 hops away).
 BLAST_RADIUS_HOPS = 10
@@ -52,8 +52,8 @@ class WorkloadQuery:
     name: str
     operation: str
     result_kind: str
-    run_base: Callable[[PropertyGraph], Any]
-    run_connector: Callable[[PropertyGraph], Any]
+    run_base: Callable[[GraphLike], Any]
+    run_connector: Callable[[GraphLike], Any]
     cypher: str | None = None
 
 
@@ -107,17 +107,17 @@ def build_workload(anchor_type: str | None, heterogeneous: bool,
             ),
         ))
 
-    def run_ancestors(graph: PropertyGraph, hops: int) -> dict[Any, int]:
+    def run_ancestors(graph: GraphLike, hops: int) -> dict[Any, int]:
         anchor_ids = graph.vertex_ids(anchor_type) if heterogeneous else graph.vertex_ids()
         return {vid: len(ancestors(graph, vid, hops, **anchors_kwargs))
                 for vid in anchor_ids}
 
-    def run_descendants(graph: PropertyGraph, hops: int) -> dict[Any, int]:
+    def run_descendants(graph: GraphLike, hops: int) -> dict[Any, int]:
         anchor_ids = graph.vertex_ids(anchor_type) if heterogeneous else graph.vertex_ids()
         return {vid: len(descendants(graph, vid, hops, **anchors_kwargs))
                 for vid in anchor_ids}
 
-    def run_path_lengths(graph: PropertyGraph, hops: int) -> dict[Any, int]:
+    def run_path_lengths(graph: GraphLike, hops: int) -> dict[Any, int]:
         anchor_ids = graph.vertex_ids(anchor_type) if heterogeneous else graph.vertex_ids()
         return {vid: len(path_lengths(graph, vid, max_hops=hops)) for vid in anchor_ids}
 

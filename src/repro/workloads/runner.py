@@ -16,6 +16,8 @@ from typing import Iterable, Sequence
 from repro.datasets.registry import DatasetSpec
 from repro.graph.property_graph import PropertyGraph
 from repro.graph.transform import induced_subgraph_by_vertex_types
+from repro.storage.base import GraphLike
+from repro.storage.manager import StorageManager
 from repro.views.catalog import ViewCatalog
 from repro.views.definitions import ConnectorView, keep_types_summarizer
 from repro.workloads.queries import WorkloadQuery, _result_size, workload_for_dataset
@@ -64,6 +66,23 @@ class PreparedDataset:
     connector_graph: PropertyGraph
     base_mode: str  # "filter" for heterogeneous, "raw" for homogeneous
     connector_definition: ConnectorView
+    #: Storage manager that owns backend selection for the run (None keeps
+    #: every query on the dict graphs, the pre-storage-subsystem behaviour).
+    storage: StorageManager | None = None
+
+    def graph_for(self, mode: str) -> GraphLike:
+        """The representation queries in ``mode`` should run against.
+
+        Both the base graph and the connector view are read-only for the
+        duration of a workload run (Q7's community write-back only annotates
+        vertex properties), so when a storage manager is attached both sides
+        are served from read-optimized snapshots — keeping the base-vs-
+        connector comparison on equal physical footing.
+        """
+        graph = self.connector_graph if mode == "connector" else self.base_graph
+        if self.storage is None:
+            return graph
+        return self.storage.store_for(graph, workload="read_mostly")
 
 
 #: Types kept by the schema-level summarizer per heterogeneous dataset (§VII-B).
@@ -75,14 +94,25 @@ _FILTER_TYPES = {
 }
 
 
-def prepare_dataset(spec: DatasetSpec, max_connector_paths: int | None = 2_000_000
-                    ) -> PreparedDataset:
+def prepare_dataset(spec: DatasetSpec, max_connector_paths: int | None = 2_000_000,
+                    storage: StorageManager | None = None,
+                    use_read_stores: bool = True) -> PreparedDataset:
     """Build the base graph and materialize its 2-hop connector view.
 
     For the heterogeneous datasets the base graph is the summarizer-filtered
     graph (jobs+files / authors+publications); for the homogeneous ones it is
     the raw graph, exactly mirroring the §VII-F setup.
+
+    Args:
+        spec: Dataset to prepare.
+        max_connector_paths: Cap on paths contracted into the connector.
+        storage: Storage manager to use (a default one is created when
+            ``use_read_stores`` is true and none is given).
+        use_read_stores: Serve workload queries from read-optimized (CSR)
+            snapshots; pass False to force the dict graphs everywhere.
     """
+    if storage is None and use_read_stores:
+        storage = StorageManager()
     raw = spec.build()
     if spec.heterogeneous:
         keep = _FILTER_TYPES.get(spec.name, tuple(raw.vertex_types()))
@@ -100,7 +130,7 @@ def prepare_dataset(spec: DatasetSpec, max_connector_paths: int | None = 2_000_0
         target_type=spec.connector_vertex_type,
         k=2,
     )
-    catalog = ViewCatalog()
+    catalog = ViewCatalog(storage=storage)
     view = catalog.materialize(base_graph, connector_definition,
                                max_paths=max_connector_paths)
     return PreparedDataset(
@@ -109,18 +139,15 @@ def prepare_dataset(spec: DatasetSpec, max_connector_paths: int | None = 2_000_0
         connector_graph=view.graph,
         base_mode=base_mode,
         connector_definition=connector_definition,
+        storage=storage if use_read_stores else None,
     )
 
 
 def run_query(query: WorkloadQuery, prepared: PreparedDataset,
               mode: str) -> QueryRuntime:
     """Run one workload query in one mode and record its runtime."""
-    if mode == "connector":
-        graph = prepared.connector_graph
-        runner = query.run_connector
-    else:
-        graph = prepared.base_graph
-        runner = query.run_base
+    graph = prepared.graph_for(mode)
+    runner = query.run_connector if mode == "connector" else query.run_base
     start = time.perf_counter()
     result = runner(graph)
     elapsed = time.perf_counter() - start

@@ -98,6 +98,57 @@ class TestStatistics:
         assert hist[0] == 6
 
 
+class TestMemoization:
+    def test_repeated_calls_return_cached_object(self):
+        g = star_graph(8)
+        first = compute_statistics(g)
+        second = compute_statistics(g)
+        assert second is first  # no rescan, shared memoized result
+
+    def test_mutation_invalidates_cache(self):
+        g = star_graph(8)
+        before = compute_statistics(g)
+        g.add_vertex("f-new", "File")
+        g.add_edge("hub", "f-new", "WRITES_TO")
+        after = compute_statistics(g)
+        assert after is not before
+        assert after.total_edges == before.total_edges + 1
+        assert after.per_type["Job"].max_out_degree == 9
+
+    def test_removal_invalidates_cache(self):
+        g = star_graph(4)
+        before = compute_statistics(g)
+        g.remove_vertex("f0")
+        after = compute_statistics(g)
+        assert after is not before
+        assert after.total_vertices == before.total_vertices - 1
+        assert after.total_edges == before.total_edges - 1
+
+    def test_distinct_percentiles_cached_separately(self):
+        g = star_graph(4)
+        default = compute_statistics(g)
+        coarse = compute_statistics(g, percentiles=(50,))
+        assert default is not coarse
+        assert compute_statistics(g, percentiles=(50,)) is coarse
+
+    def test_use_cache_false_forces_fresh_scan(self):
+        g = star_graph(4)
+        first = compute_statistics(g)
+        fresh = compute_statistics(g, use_cache=False)
+        assert fresh is not first
+        assert fresh.total_edges == first.total_edges
+
+    def test_version_counter_tracks_topology_only(self):
+        g = star_graph(3)
+        version = g.version
+        g.vertex("hub").properties["cpu"] = 1.0  # property write: no bump
+        assert g.version == version
+        g.add_vertex("hub", "Job", cpu=2.0)      # property merge: no bump
+        assert g.version == version
+        g.add_edge("hub", "f0", "WRITES_TO")
+        assert g.version == version + 1
+
+
 class TestCCDFAndPowerLaw:
     def test_ccdf_is_non_increasing(self):
         g = star_graph(20)

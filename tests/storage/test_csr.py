@@ -1,0 +1,134 @@
+"""CSRGraphStore: equivalence with PropertyGraph, immutability, conversion."""
+
+import pytest
+
+from repro.datasets.provenance import summarized_provenance_graph
+from repro.datasets.random_graphs import erdos_renyi_graph, power_law_graph
+from repro.errors import GraphError, VertexNotFoundError
+from repro.query.executor import QueryExecutor
+from repro.query.parser import parse_query
+from repro.storage.csr import CSRGraphStore
+
+
+def sorted_ids(ids):
+    return sorted(ids, key=str)
+
+
+@pytest.fixture(params=["erdos_renyi", "power_law", "provenance"])
+def graph(request):
+    if request.param == "erdos_renyi":
+        return erdos_renyi_graph(60, 240, seed=5)
+    if request.param == "power_law":
+        return power_law_graph(120, seed=9)
+    return summarized_provenance_graph(num_jobs=40, seed=7)
+
+
+class TestEquivalence:
+    def test_sizes_and_vocabulary_match(self, graph):
+        store = CSRGraphStore.from_graph(graph)
+        assert store.num_vertices == graph.num_vertices
+        assert store.num_edges == graph.num_edges
+        assert sorted(store.vertex_types()) == sorted(graph.vertex_types())
+        assert sorted(store.edge_labels()) == sorted(graph.edge_labels())
+        for vertex_type in graph.vertex_types() + [None]:
+            assert store.count_vertices(vertex_type) == graph.count_vertices(vertex_type)
+            assert store.vertex_ids(vertex_type) == graph.vertex_ids(vertex_type)
+        for label in graph.edge_labels() + [None, "NO_SUCH_LABEL"]:
+            assert store.count_edges(label) == graph.count_edges(label)
+
+    def test_adjacency_matches_per_vertex_and_label(self, graph):
+        store = CSRGraphStore.from_graph(graph)
+        labels = graph.edge_labels() + [None, "NO_SUCH_LABEL"]
+        for vertex_id in graph.vertex_ids():
+            for label in labels:
+                assert store.out_degree(vertex_id, label) == graph.out_degree(vertex_id, label)
+                assert store.in_degree(vertex_id, label) == graph.in_degree(vertex_id, label)
+                assert sorted_ids(store.successors(vertex_id, label)) == \
+                    sorted_ids(graph.successors(vertex_id, label))
+                assert sorted_ids(store.predecessors(vertex_id, label)) == \
+                    sorted_ids(graph.predecessors(vertex_id, label))
+            assert store.neighbors(vertex_id) == graph.neighbors(vertex_id)
+            assert store.degree(vertex_id) == graph.degree(vertex_id)
+
+    def test_vertices_and_edges_preserve_identity_and_order(self, graph):
+        store = CSRGraphStore.from_graph(graph)
+        assert [v.id for v in store.vertices()] == [v.id for v in graph.vertices()]
+        # Edge iteration preserves insertion order, and the Edge objects are
+        # the *same* objects (property payloads are shared, not copied).
+        assert [e.id for e in store.edges()] == [e.id for e in graph.edges()]
+        for stored, original in zip(store.edges(), graph.edges()):
+            assert stored is original
+        for vertex_id in graph.vertex_ids():
+            assert store.vertex(vertex_id) is graph.vertex(vertex_id)
+
+    def test_kernel_arrays_cover_every_edge(self, graph):
+        store = CSRGraphStore.from_graph(graph)
+        offsets, targets = store.csr_arrays("out")
+        assert len(offsets) == store.num_vertices + 1
+        assert len(targets) == offsets[-1] == store.num_edges
+        rebuilt = set()
+        for index in range(store.num_vertices):
+            source = store.id_at(index)
+            for target_index in targets[offsets[index]:offsets[index + 1]]:
+                rebuilt.add((source, store.id_at(target_index)))
+        expected = {(e.source, e.target) for e in graph.edges()}
+        assert rebuilt == expected
+
+    def test_missing_vertex_raises(self, graph):
+        store = CSRGraphStore.from_graph(graph)
+        with pytest.raises(VertexNotFoundError):
+            store.vertex("definitely-not-a-vertex")
+        with pytest.raises(VertexNotFoundError):
+            store.successors("definitely-not-a-vertex")
+        with pytest.raises(VertexNotFoundError):
+            store.out_degree("definitely-not-a-vertex")
+
+
+class TestSnapshotSemantics:
+    def test_mutations_raise(self):
+        graph = erdos_renyi_graph(10, 20)
+        store = CSRGraphStore.from_graph(graph)
+        with pytest.raises(GraphError):
+            store.add_vertex("x", "Vertex")
+        with pytest.raises(GraphError):
+            store.add_edge(0, 1, "LINK")
+        with pytest.raises(GraphError):
+            store.remove_vertex(0)
+        with pytest.raises(GraphError):
+            store.remove_edge(0)
+
+    def test_snapshot_isolated_from_later_base_mutations(self):
+        graph = erdos_renyi_graph(10, 20)
+        store = CSRGraphStore.from_graph(graph)
+        assert store.source_version == graph.version
+        before = store.num_edges
+        graph.add_vertex("new", "Vertex")
+        graph.add_edge("new", 0, "LINK")
+        assert store.num_edges == before
+        assert not store.has_vertex("new")
+        # Staleness is detectable through the version counter.
+        assert store.source_version != graph.version
+
+    def test_to_property_graph_round_trip(self):
+        graph = summarized_provenance_graph(num_jobs=25, seed=3)
+        thawed = CSRGraphStore.from_graph(graph).to_property_graph()
+        assert thawed.num_vertices == graph.num_vertices
+        assert thawed.num_edges == graph.num_edges
+        assert {(e.source, e.target, e.label) for e in thawed.edges()} == \
+            {(e.source, e.target, e.label) for e in graph.edges()}
+        for vertex in graph.vertices():
+            assert thawed.vertex(vertex.id).properties == vertex.properties
+
+
+class TestExecutorOnCSR:
+    def test_query_results_identical_on_both_backends(self):
+        graph = summarized_provenance_graph(num_jobs=30, seed=11)
+        store = CSRGraphStore.from_graph(graph)
+        query = parse_query(
+            "MATCH (j1:Job)-[:WRITES_TO]->(f1:File), (f1)-[r*0..4]->(f2:File), "
+            "(f2)-[:IS_READ_BY]->(j2:Job) RETURN j1 AS A, j2 AS B",
+            name="blast-radius")
+        on_dict = QueryExecutor(graph).execute(query)
+        on_csr = QueryExecutor(store).execute(query)
+        assert on_csr.rows == on_dict.rows
+        assert on_csr.stats.total_work == on_dict.stats.total_work

@@ -1,0 +1,180 @@
+"""PersistentViewStore: snapshot + reload of materialized view catalogs."""
+
+import json
+
+import pytest
+
+from repro.core.kaskade import Kaskade
+from repro.datasets.provenance import summarized_provenance_graph
+from repro.errors import ViewError
+from repro.storage.persistent import PersistentViewStore
+from repro.views.catalog import ViewCatalog
+from repro.views.definitions import (
+    SummarizerView,
+    definition_from_dict,
+    definition_to_dict,
+    job_to_job_connector,
+    keep_types_summarizer,
+)
+
+BLAST_RADIUS = (
+    "MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File), "
+    "(q_f1:File)-[r*0..8]->(q_f2:File), "
+    "(q_f2:File)-[:IS_READ_BY]->(q_j2:Job) "
+    "RETURN q_j1 AS A, q_j2 AS B"
+)
+
+
+@pytest.fixture(params=["jsonl", "sqlite"])
+def store_path(request, tmp_path):
+    suffix = ".jsonl" if request.param == "jsonl" else ".db"
+    return tmp_path / f"views{suffix}"
+
+
+class TestDefinitionSerialization:
+    @pytest.mark.parametrize("definition", [
+        job_to_job_connector(k=2),
+        keep_types_summarizer(["Job", "File"]),
+        SummarizerView(
+            name="grouped", summarizer_kind="vertex_aggregator", group_by="type",
+            aggregations=(("cpu", "sum"),),
+            property_predicates=(("cpu", ">", 1.0),),
+        ),
+    ])
+    def test_round_trip_preserves_signature(self, definition):
+        payload = json.loads(json.dumps(definition_to_dict(definition)))
+        restored = definition_from_dict(payload)
+        assert restored.signature() == definition.signature()
+        assert restored == definition
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ViewError):
+            definition_from_dict({"view_class": "mystery", "name": "x"})
+
+    def test_nested_predicate_values_stay_hashable(self):
+        # Predicate *values* may be sequences; the reloaded signature must
+        # still be hashable (it is used as the catalog dict key).
+        definition = SummarizerView(
+            name="tagged", summarizer_kind="vertex_inclusion",
+            vertex_types=("Job",),
+            property_predicates=(("tags", "in", ("prod", "etl")),),
+        )
+        payload = json.loads(json.dumps(definition_to_dict(definition)))
+        restored = definition_from_dict(payload)
+        assert restored.signature() == definition.signature()
+        hash(restored.signature())  # would raise TypeError on nested lists
+
+
+class TestBackendInference:
+    def test_suffix_selects_backend(self, tmp_path):
+        assert PersistentViewStore(tmp_path / "v.jsonl").backend == "jsonl"
+        assert PersistentViewStore(tmp_path / "v.db").backend == "sqlite"
+        assert PersistentViewStore(tmp_path / "v.sqlite3").backend == "sqlite"
+        assert PersistentViewStore(tmp_path / "v.dat", backend="jsonl").backend == "jsonl"
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ViewError):
+            PersistentViewStore(tmp_path / "v.jsonl", backend="parquet")
+
+
+class TestCatalogRoundTrip:
+    def test_save_and_reload_views(self, store_path):
+        graph = summarized_provenance_graph(num_jobs=30, seed=7)
+        catalog = ViewCatalog()
+        catalog.materialize(graph, job_to_job_connector())
+        catalog.materialize(graph, keep_types_summarizer(["Job"]))
+        store = PersistentViewStore(store_path)
+        assert store.save_catalog(catalog) == 2
+        assert len(store) == 2
+        assert sorted(store.view_names()) == sorted(
+            v.definition.name for v in catalog)
+
+        restored = store.load_catalog()
+        assert len(restored) == 2
+        for original in catalog:
+            reloaded = restored.get(original.definition)
+            assert reloaded.num_vertices == original.num_vertices
+            assert reloaded.num_edges == original.num_edges
+            assert {(e.source, e.target, e.label) for e in reloaded.graph.edges()} == \
+                {(e.source, e.target, e.label) for e in original.graph.edges()}
+
+    def test_save_view_creates_parent_directories(self, tmp_path):
+        graph = summarized_provenance_graph(num_jobs=20, seed=3)
+        catalog = ViewCatalog()
+        view = catalog.materialize(graph, job_to_job_connector())
+        for name in ("nested/deeper/views.jsonl", "nested2/deeper/views.db"):
+            store = PersistentViewStore(tmp_path / name)
+            store.save_view(view)  # must not require pre-existing directories
+            assert len(store) == 1
+
+    def test_save_view_upsert_and_delete(self, store_path):
+        graph = summarized_provenance_graph(num_jobs=20, seed=3)
+        catalog = ViewCatalog()
+        view = catalog.materialize(graph, job_to_job_connector())
+        store = PersistentViewStore(store_path)
+        store.save_view(view)
+        store.save_view(view)  # upsert: still one record
+        assert len(store) == 1
+        assert store.delete_view(view.definition) is True
+        assert store.delete_view(view.definition) is False
+        assert len(store) == 0
+
+    def test_clear(self, store_path):
+        graph = summarized_provenance_graph(num_jobs=20, seed=3)
+        catalog = ViewCatalog()
+        catalog.materialize(graph, job_to_job_connector())
+        store = PersistentViewStore(store_path)
+        store.save_catalog(catalog)
+        store.clear()
+        assert len(store) == 0
+        assert store.load_views() == []
+
+
+class TestRewriteEquivalenceAfterReload:
+    def test_reloaded_catalog_produces_identical_query_results(self, store_path):
+        """materialize -> save -> reload -> byte-identical rewrite answers."""
+        graph = summarized_provenance_graph(num_jobs=60, seed=7)
+        kaskade = Kaskade(graph)
+        query = kaskade.parse(BLAST_RADIUS, name="blast-radius")
+        kaskade.select_views([query], budget_edges=4 * graph.num_edges)
+        assert len(kaskade.catalog) > 0
+
+        first = kaskade.execute(query)
+        assert first.used_view is not None
+        kaskade.persist_views(store_path)
+
+        # A fresh process: same base graph, empty catalog, restore from disk.
+        resumed = Kaskade(graph)
+        restored = resumed.restore_views(store_path)
+        assert restored == len(kaskade.catalog)
+        second = resumed.execute(query)
+
+        assert second.used_view is not None
+        assert second.used_view_name == first.used_view_name
+        # Byte-identical answers through the rewriter.
+        assert json.dumps(second.result.rows, sort_keys=True, default=str) == \
+            json.dumps(first.result.rows, sort_keys=True, default=str)
+
+    def test_persist_through_attached_storage_manager(self, tmp_path):
+        """With StorageManager(persist_path=...), no explicit path is needed."""
+        from repro.storage.manager import StorageManager
+
+        graph = summarized_provenance_graph(num_jobs=40, seed=7)
+        manager = StorageManager(persist_path=tmp_path / "attached.jsonl")
+        kaskade = Kaskade(graph, storage=manager)
+        query = kaskade.parse(BLAST_RADIUS, name="blast-radius")
+        kaskade.select_views([query], budget_edges=4 * graph.num_edges)
+        store = kaskade.persist_views()           # uses the attached store
+        assert store is manager.persistent
+
+        resumed = Kaskade(graph, storage=StorageManager(
+            persist_path=tmp_path / "attached.jsonl"))
+        assert resumed.restore_views() == len(kaskade.catalog)
+
+    def test_persist_without_target_raises(self):
+        graph = summarized_provenance_graph(num_jobs=10, seed=7)
+        kaskade = Kaskade(graph)
+        with pytest.raises(ViewError):
+            kaskade.persist_views()
+        with pytest.raises(ViewError):
+            kaskade.restore_views()
