@@ -31,7 +31,6 @@ from repro.core.templates import ViewCandidate
 from repro.graph.property_graph import PropertyGraph
 from repro.graph.schema import GraphSchema
 from repro.graph.statistics import compute_statistics
-from repro.graph.transform import union
 from repro.query.ast import GraphQuery
 from repro.query.cost import QueryCostModel
 from repro.query.executor import ExecutionResult, QueryExecutor
@@ -41,6 +40,10 @@ from repro.storage.manager import StorageManager
 from repro.storage.persistent import PersistentViewStore
 from repro.views.catalog import MaterializedView, ViewCatalog
 from repro.views.definitions import ConnectorView, SummarizerView
+from repro.views.delta import MaintenanceManager, RefreshReport
+
+#: Saved per-query rewrites retained at once (oldest evicted first).
+_MAX_SAVED_REWRITES = 512
 
 
 @dataclass
@@ -78,7 +81,9 @@ class Kaskade:
                  alpha: float = DEFAULT_ALPHA,
                  knapsack_method: str = "branch_and_bound",
                  materialization_max_paths: int | None = None,
-                 storage: StorageManager | None = None) -> None:
+                 storage: StorageManager | None = None,
+                 auto_refresh: bool = False,
+                 change_log_capacity: int = 100_000) -> None:
         """Create a KASKADE instance for one base graph.
 
         Args:
@@ -91,6 +96,12 @@ class Kaskade:
             storage: Storage manager owning backend selection (freeze-to-CSR
                 for read-mostly graphs and views, optional view persistence);
                 a default-policy manager is created when omitted.
+            auto_refresh: When true, every :meth:`execute` call that may use
+                views first runs delta maintenance so rewrites never read a
+                stale view; when false (default) the caller decides when to
+                invoke :meth:`refresh_views`.
+            change_log_capacity: Bound on the base graph's mutation log;
+                deltas longer than this force view re-materialization.
         """
         self.graph = graph
         self.schema = schema or graph.infer_schema()
@@ -104,9 +115,23 @@ class Kaskade:
                                      knapsack_method=knapsack_method)
         self.rewriter = QueryRewriter(self.schema)
         self.materialization_max_paths = materialization_max_paths
-        # Candidate -> rewrites discovered during selection, reused at query time
-        # ("if this information is saved from the view selection step ... we can
-        #  leverage it without having to invoke the view enumeration again").
+        self.auto_refresh = auto_refresh
+        self.change_log_capacity = change_log_capacity
+        # Delta-driven view maintenance.  The manager attaches change capture
+        # to the base graph, so it is only created when maintenance is
+        # actually wanted: eagerly under auto_refresh (capture must start
+        # before the first mutation for deltas to be replayable), lazily on
+        # the first refresh_views() call otherwise — read-only users keep the
+        # graph's zero-overhead no-logging default.
+        self._maintenance: MaintenanceManager | None = None
+        if auto_refresh:
+            self._maintenance = self._make_maintenance()
+        # Query-signature -> rewrites discovered during selection, reused at
+        # query time ("if this information is saved from the view selection
+        # step ... we can leverage it without having to invoke the view
+        # enumeration again").  Keyed by the *structural* signature: object
+        # ids can be recycled after GC (serving another query's rewrites) and
+        # per-object keys grow without bound.
         self._saved_rewrites: dict[str, list[RewrittenQuery]] = {}
 
     # ----------------------------------------------------------------- parsing
@@ -134,8 +159,7 @@ class Kaskade:
                     max_paths=self.materialization_max_paths)
                 materialized.append(view)
         for query in workload:
-            key = query.name or str(id(query))
-            self._saved_rewrites[key] = selection.rewrites_for(query)
+            self._save_rewrites(query, selection.rewrites_for(query))
         elapsed = time.perf_counter() - start
         return MaterializationReport(selection=selection, materialized=materialized,
                                      elapsed_seconds=elapsed)
@@ -148,12 +172,19 @@ class Kaskade:
                                         max_paths=self.materialization_max_paths)
 
     # --------------------------------------------------------------- rewriting
+    def _save_rewrites(self, query: GraphQuery, rewrites: list[RewrittenQuery]) -> None:
+        """Remember selection-time rewrites under the query's structural key."""
+        key = query.structural_signature()
+        if key not in self._saved_rewrites and len(self._saved_rewrites) >= _MAX_SAVED_REWRITES:
+            self._saved_rewrites.pop(next(iter(self._saved_rewrites)))
+        self._saved_rewrites[key] = rewrites
+
     def rewrite(self, query: GraphQuery) -> RewrittenQuery | None:
         """Find the best view-based rewrite of a query among materialized views (§V-C).
 
         Returns None when no materialized view produces a valid rewrite.
         """
-        saved = self._saved_rewrites.get(query.name or str(id(query)), [])
+        saved = self._saved_rewrites.get(query.structural_signature(), [])
         rewrites = [r for r in saved
                     if self.catalog.contains(r.candidate.definition)]
         if not rewrites:
@@ -175,11 +206,41 @@ class Kaskade:
         model = QueryCostModel.for_graph(view.graph)
         return model.estimate_total(rewrite.rewritten)
 
+    # -------------------------------------------------------------- maintenance
+    def _make_maintenance(self) -> MaintenanceManager:
+        return MaintenanceManager(
+            self.graph, self.catalog, storage=self.storage,
+            log_capacity=self.change_log_capacity,
+            max_paths=self.materialization_max_paths)
+
+    @property
+    def maintenance(self) -> MaintenanceManager:
+        """The delta-maintenance subsystem (created — and change capture
+        enabled — on first use)."""
+        if self._maintenance is None:
+            self._maintenance = self._make_maintenance()
+        return self._maintenance
+
+    def refresh_views(self) -> RefreshReport:
+        """Bring every materialized view up to date with the base graph.
+
+        Replays the change-capture delta through the maintenance subsystem:
+        k-hop connectors and filter summarizers are maintained incrementally,
+        the rest re-materialized; refreshed views get their read-optimized
+        snapshots re-frozen by the storage manager.  On the very first call
+        change capture may only just have been attached, in which case stale
+        views are re-materialized once and maintained incrementally from then
+        on.
+        """
+        return self.maintenance.refresh()
+
     # ---------------------------------------------------------------- execution
     def execute(self, query: GraphQuery, use_views: bool = True,
                 max_bindings: int | None = None) -> QueryOutcome:
         """Execute a query, using the best materialized view when beneficial."""
         start = time.perf_counter()
+        if use_views and self.auto_refresh and len(self.catalog):
+            self.refresh_views()
         rewrite = self.rewrite(query) if use_views else None
         if rewrite is None:
             base = self.storage.store_for(self.graph)
@@ -202,9 +263,11 @@ class Kaskade:
         Summarizer rewrites run on the summarized graph.  Connector rewrites
         run on the connector graph when every edge pattern uses the connector's
         label; otherwise (mixed rewrites keeping a prefix/suffix of raw-graph
-        hops) they run on the union of the base graph and the connector edges.
-        Whenever the query runs wholly on the view, the view's read-optimized
-        snapshot (if the storage manager attached one) serves it.
+        hops) they run on the union of the base graph and the connector edges,
+        which the storage manager caches across executions and rebuilds only
+        when either side mutated.  Whenever the query runs wholly on the view,
+        the view's read-optimized snapshot (if the storage manager attached
+        one) serves it.
         """
         definition = rewrite.candidate.definition
         if isinstance(definition, SummarizerView):
@@ -212,7 +275,8 @@ class Kaskade:
         labels = {edge.label for edge in rewrite.rewritten.edge_patterns()}
         if labels <= {definition.output_label}:
             return view.read_store()
-        return union(self.graph, view.graph, name=f"{self.graph.name}+{definition.name}")
+        return self.storage.union_for(self.graph, view,
+                                      name=f"{self.graph.name}+{definition.name}")
 
     # -------------------------------------------------------------- durability
     def _persistent_store(self, path, backend: str | None) -> PersistentViewStore:

@@ -6,6 +6,7 @@ provides the engine-agnostic transformations (filtering, grouping, path
 contraction) that graph views are built from.
 """
 
+from repro.graph.changelog import MUTATION_KINDS, ChangeLog, GraphMutation
 from repro.graph.property_graph import Edge, PropertyGraph, Vertex
 from repro.graph.schema import (
     EdgeType,
@@ -48,8 +49,11 @@ from repro.graph.io import (
 )
 
 __all__ = [
+    "ChangeLog",
     "Edge",
     "EdgeType",
+    "GraphMutation",
+    "MUTATION_KINDS",
     "GraphSchema",
     "GraphStatistics",
     "PropertyGraph",

@@ -1,0 +1,158 @@
+"""Change capture: a bounded log of graph topology mutations.
+
+Incremental view maintenance (Zhuge & Garcia-Molina, §VIII [23] of the paper)
+needs the *delta* between the base-graph state a view was materialized at and
+the current state.  :class:`ChangeLog` records every topological mutation of a
+:class:`~repro.graph.property_graph.PropertyGraph` — vertex/edge insertions
+and removals — tagged with the graph's monotonic ``version`` counter, so a
+consumer that remembers "my view is fresh as of version V" can ask for exactly
+the events it has not seen yet (:meth:`ChangeLog.events_since`).
+
+The log is **bounded**: it retains at most ``capacity`` events and evicts the
+oldest beyond that.  Eviction moves the *floor version* forward; a consumer
+whose last-seen version fell below the floor can no longer replay the delta
+and must fall back to full re-materialization.  This keeps memory use constant
+under unbounded mutation streams while making the fallback condition explicit
+(:meth:`ChangeLog.can_replay_from` returns False).
+
+Property-only updates (merging properties into an existing vertex) are *not*
+captured — they do not bump the graph ``version`` and change no topology,
+mirroring the invalidation semantics introduced with the storage subsystem.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+#: Event kinds recorded in the log.
+MUTATION_KINDS = ("add_vertex", "remove_vertex", "add_edge", "remove_edge")
+
+
+@dataclass(frozen=True)
+class GraphMutation:
+    """One topological mutation, tagged with the graph version it produced.
+
+    Attributes:
+        version: The graph's ``version`` counter *after* the mutation.
+        kind: One of :data:`MUTATION_KINDS`.
+        vertex_id / vertex_type: Set for vertex events.
+        edge_id / source / target / label: Set for edge events.
+    """
+
+    version: int
+    kind: str
+    vertex_id: Any = None
+    vertex_type: str | None = None
+    edge_id: int | None = None
+    source: Any = None
+    target: Any = None
+    label: str | None = None
+
+    @property
+    def is_edge_event(self) -> bool:
+        return self.kind in ("add_edge", "remove_edge")
+
+    @property
+    def is_vertex_event(self) -> bool:
+        return self.kind in ("add_vertex", "remove_vertex")
+
+
+class ChangeLog:
+    """Bounded, version-tagged mutation log for one graph.
+
+    Example:
+        >>> from repro.graph.property_graph import PropertyGraph
+        >>> g = PropertyGraph()
+        >>> log = g.enable_change_capture(capacity=100)
+        >>> v0 = g.version
+        >>> _ = g.add_vertex("a", "Job"); _ = g.add_vertex("b", "Job")
+        >>> [e.kind for e in log.events_since(v0)]
+        ['add_vertex', 'add_vertex']
+    """
+
+    def __init__(self, capacity: int = 100_000, start_version: int = 0) -> None:
+        """Create a log that has complete history from ``start_version`` onward.
+
+        Args:
+            capacity: Maximum number of retained events (must be >= 1).
+            start_version: Graph version at the moment capture was enabled.
+        """
+        if capacity < 1:
+            raise ValueError(f"changelog capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        # Events live in self._events[self._head:]; versions are strictly
+        # monotonic, so delta suffixes are found by bisection instead of a
+        # full scan.  Eviction advances the head and compacts lazily, which
+        # keeps record() amortized O(1).
+        self._events: list[GraphMutation] = []
+        self._head = 0
+        # History is complete for any state at or after this version.
+        self._floor_version = start_version
+
+    # ------------------------------------------------------------------ record
+    def record(self, event: GraphMutation) -> None:
+        """Append an event, evicting the oldest when over capacity."""
+        self._events.append(event)
+        if len(self._events) - self._head > self.capacity:
+            # After eviction, replay is only complete from the evicted
+            # event's resulting state onward.
+            self._floor_version = self._events[self._head].version
+            self._head += 1
+            self._compact()
+
+    def _compact(self) -> None:
+        if self._head > self.capacity:
+            del self._events[:self._head]
+            self._head = 0
+
+    # ------------------------------------------------------------------- query
+    @property
+    def floor_version(self) -> int:
+        """Earliest graph version a delta can still be replayed from."""
+        return self._floor_version
+
+    def __len__(self) -> int:
+        return len(self._events) - self._head
+
+    def __iter__(self) -> Iterator[GraphMutation]:
+        return iter(self._events[self._head:])
+
+    def can_replay_from(self, version: int) -> bool:
+        """Whether the log retains every event after ``version``."""
+        return version >= self._floor_version
+
+    def events_since(self, version: int) -> list[GraphMutation] | None:
+        """Events recorded after graph state ``version``, oldest first.
+
+        O(log n + delta): versions are strictly monotonic, so the suffix
+        starts at a bisection point.  Returns None when the requested delta
+        has been partially evicted — the caller must fall back to full
+        recomputation.
+        """
+        if not self.can_replay_from(version):
+            return None
+        index = bisect_right(self._events, version, lo=self._head,
+                             key=lambda event: event.version)
+        return self._events[index:]
+
+    def truncate_before(self, version: int) -> int:
+        """Drop events at or below ``version`` (all consumers caught up).
+
+        Returns the number of events dropped.  The floor only moves forward.
+        """
+        index = bisect_right(self._events, version, lo=self._head,
+                             key=lambda event: event.version)
+        dropped = index - self._head
+        self._head = index
+        self._compact()
+        if version > self._floor_version:
+            self._floor_version = version
+        return dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChangeLog(events={len(self)}, capacity={self.capacity}, "
+            f"floor_version={self._floor_version})"
+        )

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import EdgeNotFoundError, GraphError, SchemaError, VertexNotFoundError
+from repro.graph.changelog import ChangeLog, GraphMutation
 from repro.graph.schema import GraphSchema
 
 VertexId = Any
@@ -103,6 +104,9 @@ class PropertyGraph:
         # Monotonic counter bumped on every topological mutation; consumers
         # (statistics memoization, CSR snapshots) use it for invalidation.
         self._version: int = 0
+        # Optional bounded mutation log (see enable_change_capture); None
+        # keeps mutations entirely unobserved, the zero-overhead default.
+        self._changelog: ChangeLog | None = None
         self._out: dict[VertexId, list[EdgeId]] = {}
         self._in: dict[VertexId, list[EdgeId]] = {}
         # Insertion-ordered per-type / per-label indexes (dicts as ordered sets)
@@ -134,6 +138,31 @@ class PropertyGraph:
         at and treat a mismatch as staleness.
         """
         return self._version
+
+    # ---------------------------------------------------------- change capture
+    @property
+    def changelog(self) -> ChangeLog | None:
+        """The attached mutation log, or None when capture is disabled."""
+        return self._changelog
+
+    def enable_change_capture(self, capacity: int = 100_000) -> ChangeLog:
+        """Start recording topological mutations into a bounded log.
+
+        Idempotent: when capture is already enabled the existing log is
+        returned (its capacity is left unchanged), so multiple consumers —
+        e.g. several maintenance managers — share one log.
+        """
+        if self._changelog is None:
+            self._changelog = ChangeLog(capacity=capacity, start_version=self._version)
+        return self._changelog
+
+    def disable_change_capture(self) -> None:
+        """Stop recording mutations and detach the log."""
+        self._changelog = None
+
+    def _record(self, kind: str, **fields: Any) -> None:
+        if self._changelog is not None:
+            self._changelog.record(GraphMutation(version=self._version, kind=kind, **fields))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -168,6 +197,7 @@ class PropertyGraph:
         self._out[vertex_id] = []
         self._in[vertex_id] = []
         self._vertices_by_type.setdefault(vertex_type, {})[vertex_id] = None
+        self._record("add_vertex", vertex_id=vertex_id, vertex_type=vertex_type)
         return vertex
 
     def has_vertex(self, vertex_id: VertexId) -> bool:
@@ -220,6 +250,7 @@ class PropertyGraph:
         del self._out[vertex_id]
         del self._in[vertex_id]
         self._vertices_by_type[vertex.type].pop(vertex_id, None)
+        self._record("remove_vertex", vertex_id=vertex_id, vertex_type=vertex.type)
 
     # ------------------------------------------------------------------- edges
     def add_edge(self, source: VertexId, target: VertexId, label: str,
@@ -251,6 +282,7 @@ class PropertyGraph:
         self._out[source].append(edge_id)
         self._in[target].append(edge_id)
         self._edges_by_label.setdefault(label, {})[edge_id] = None
+        self._record("add_edge", edge_id=edge_id, source=source, target=target, label=label)
         return edge
 
     def has_edge(self, source: VertexId, target: VertexId, label: str | None = None) -> bool:
@@ -262,6 +294,10 @@ class PropertyGraph:
             if edge.target == target and (label is None or edge.label == label):
                 return True
         return False
+
+    def has_edge_id(self, edge_id: EdgeId) -> bool:
+        """Whether an edge with this id is present (ids are never reused)."""
+        return edge_id in self._edges
 
     def edge(self, edge_id: EdgeId) -> Edge:
         """Look up an edge by id.
@@ -300,6 +336,8 @@ class PropertyGraph:
         self._out[edge.source].remove(edge_id)
         self._in[edge.target].remove(edge_id)
         self._edges_by_label[edge.label].pop(edge_id, None)
+        self._record("remove_edge", edge_id=edge_id, source=edge.source,
+                     target=edge.target, label=edge.label)
 
     # --------------------------------------------------------------- traversal
     def out_edges(self, vertex_id: VertexId, label: str | None = None) -> Iterator[Edge]:

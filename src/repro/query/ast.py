@@ -291,6 +291,17 @@ class GraphQuery:
         """A copy of this query with a different name."""
         return replace(self, name=name)
 
+    def structural_signature(self) -> str:
+        """Stable, name-independent identity of the query's structure.
+
+        Two queries with identical MATCH/WHERE/RETURN/DISTINCT/LIMIT clauses
+        share a signature regardless of their ``name``; the textual rendering
+        covers every semantic field.  Used as a cache key (e.g. for saved
+        rewrites) where keying by object identity would both leak memory and
+        alias recycled ``id()`` values to the wrong query.
+        """
+        return str(self)
+
     def __str__(self) -> str:
         lines = ["MATCH " + ", ".join(str(p) for p in self.match)]
         if self.where:

@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.graph.property_graph import PropertyGraph
+from repro.graph.transform import union
 from repro.storage.base import GraphLike, GraphStore
 from repro.storage.csr import CSRGraphStore
 from repro.storage.persistent import PersistentViewStore
@@ -64,6 +65,9 @@ class StorageStats:
     snapshot_hits: int = 0
     dict_served: int = 0
     views_frozen: int = 0
+    views_refrozen: int = 0
+    unions_built: int = 0
+    union_hits: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -71,6 +75,9 @@ class StorageStats:
             "snapshot_hits": self.snapshot_hits,
             "dict_served": self.dict_served,
             "views_frozen": self.views_frozen,
+            "views_refrozen": self.views_refrozen,
+            "unions_built": self.unions_built,
+            "union_hits": self.union_hits,
         }
 
 
@@ -82,6 +89,28 @@ class _GraphState:
     observed_version: int = -1
     reads_since_change: int = 0
     snapshot: CSRGraphStore | None = None
+
+
+@dataclass
+class _UnionEntry:
+    """A cached base ∪ view-edges graph, valid for one (base, view) version pair.
+
+    Strong references to the inputs are held on purpose: they make the
+    identity checks in :meth:`StorageManager.union_for` reliable (a live
+    reference can never have its ``id()`` recycled by a newer object) at the
+    cost of keeping at most :data:`_MAX_UNION_ENTRIES` graphs alive.
+    """
+
+    graph: PropertyGraph
+    base: PropertyGraph
+    base_version: int
+    view: object  # MaterializedView (typed loosely to avoid an import cycle)
+    view_graph: PropertyGraph
+    view_version: int
+
+
+#: Mixed-rewrite union graphs retained at once (small: each is a full copy).
+_MAX_UNION_ENTRIES = 8
 
 
 class StorageManager:
@@ -115,6 +144,7 @@ class StorageManager:
         if persist_path is not None:
             self.persistent = PersistentViewStore(persist_path, backend=persist_backend)
         self._states: dict[int, _GraphState] = {}
+        self._unions: dict[tuple[int, int], _UnionEntry] = {}
 
     # -------------------------------------------------------- backend selection
     def store_for(self, graph: GraphLike, workload: str = "auto") -> GraphLike:
@@ -203,6 +233,39 @@ class StorageManager:
             _states.pop(_key, None)
         return _reap
 
+    # ----------------------------------------------------------- union graphs
+    def union_for(self, base: PropertyGraph, view: "MaterializedView",
+                  name: str | None = None) -> PropertyGraph:
+        """The base ∪ view-edges graph mixed connector rewrites run against.
+
+        Building the union copies every vertex and edge, which used to happen
+        on *every* mixed-rewrite execution; the manager caches it per
+        (base graph, view) pair and rebuilds only when either side's
+        ``version`` moved (or the view's graph was swapped by
+        re-materialization).  The cache is bounded to
+        :data:`_MAX_UNION_ENTRIES` entries, oldest evicted first.
+        """
+        key = (id(base), id(view))
+        view_graph = view.graph
+        entry = self._unions.get(key)
+        if (entry is not None
+                and entry.base is base and entry.view is view
+                and entry.view_graph is view_graph
+                and entry.base_version == base.version
+                and entry.view_version == view_graph.version):
+            self.stats.union_hits += 1
+            return entry.graph
+        combined = union(base, view_graph,
+                         name=name or f"{base.name}+{view.definition.name}")
+        if key not in self._unions and len(self._unions) >= _MAX_UNION_ENTRIES:
+            self._unions.pop(next(iter(self._unions)))
+        self._unions[key] = _UnionEntry(graph=combined, base=base,
+                                        base_version=base.version, view=view,
+                                        view_graph=view_graph,
+                                        view_version=view_graph.version)
+        self.stats.unions_built += 1
+        return combined
+
     # ------------------------------------------------------------ view hooks
     def on_materialized(self, view: "MaterializedView") -> None:
         """Catalog hook: a view was (re)materialized or registered.
@@ -216,6 +279,30 @@ class StorageManager:
             return
         view.store = self.freeze(view.graph)
         self.stats.views_frozen += 1
+
+    def on_maintained(self, view: "MaterializedView",
+                      base_graph: PropertyGraph | None = None) -> None:
+        """Maintenance hook: a view's graph was updated (in place or rebuilt).
+
+        Instead of letting the stale CSR snapshot be dropped and hot reads
+        degrade to the dict graph forever (the pre-delta behaviour of
+        ``MaterializedView.read_store``), the snapshot is re-frozen at the
+        view's new version so rewritten queries stay on the read-optimized
+        path.  Views that shrank below the freeze floor fall back to the dict
+        graph.  ``base_graph`` is accepted for symmetry with the maintenance
+        subsystem; union-cache entries self-invalidate via version checks.
+        """
+        if not self.policy.freeze_views:
+            return
+        if view.graph.num_edges < self.policy.min_edges_to_freeze:
+            view.store = None
+            return
+        already_fresh = (view.store is not None
+                         and getattr(view.store, "source_version", None) == view.graph.version)
+        if already_fresh:
+            return
+        view.store = self.freeze(view.graph)
+        self.stats.views_refrozen += 1
 
     # ------------------------------------------------------------- durability
     def save_catalog(self, catalog: "ViewCatalog") -> int:

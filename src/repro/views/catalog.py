@@ -34,6 +34,11 @@ class MaterializedView:
     #: Optional read-optimized snapshot (e.g. CSR) attached by a
     #: :class:`~repro.storage.manager.StorageManager`.
     store: "GraphStore | None" = None
+    #: Base-graph ``version`` this view is consistent with, or None when
+    #: unknown (externally registered / restored views).  Maintained by
+    #: :meth:`ViewCatalog.materialize` and the delta-maintenance subsystem
+    #: (:class:`~repro.views.delta.MaintenanceManager`).
+    base_version: int | None = None
 
     @property
     def num_vertices(self) -> int:
@@ -102,7 +107,8 @@ class ViewCatalog:
             raise ViewError(f"cannot materialize view definition of type {type(definition)!r}")
         elapsed = time.perf_counter() - start
         materialized = MaterializedView(definition=definition, graph=view_graph,
-                                        creation_seconds=elapsed)
+                                        creation_seconds=elapsed,
+                                        base_version=graph.version)
         self.register(materialized)
         return materialized
 

@@ -7,8 +7,18 @@ counterpart so that a materialized k-hop connector stays consistent when edges
 are inserted into (or removed from) the base graph, without recomputing the
 whole view.
 
-Only connector views are maintained incrementally — summarizers are cheap to
-recompute and their maintenance is a straightforward filter over the delta.
+The maintainer mirrors :func:`repro.views.connectors.materialize_connector`
+semantics exactly:
+
+* path expansion is restricted to the view's ``edge_label`` (when set), both
+  for the triggering edge and for the backward/forward path joins;
+* staleness checks after a deletion enumerate **simple** paths (with the same
+  ``allow_closing`` endpoint exception materialization uses), not walks;
+* deletions only re-examine contracted edges whose k-hop neighborhood contains
+  the removed edge, instead of rescanning the whole view.
+
+:class:`ConnectorMaintainer` is the single-view primitive; the catalog-wide,
+delta-batch subsystem that drives it lives in :mod:`repro.views.delta`.
 """
 
 from __future__ import annotations
@@ -31,6 +41,12 @@ class MaintenanceReport:
     def changed(self) -> bool:
         return bool(self.added_edges or self.removed_edges)
 
+    def merge(self, other: "MaintenanceReport") -> "MaintenanceReport":
+        """Accumulate another report into this one (returns self)."""
+        self.added_edges += other.added_edges
+        self.removed_edges += other.removed_edges
+        return self
+
 
 class ConnectorMaintainer:
     """Keeps a materialized k-hop connector view in sync with its base graph."""
@@ -43,14 +59,38 @@ class ConnectorMaintainer:
         self.view = view
         self.definition: ConnectorView = definition
 
+    def _trigger_label_matches(self, label: str | None,
+                               source: VertexId, target: VertexId) -> bool:
+        """Whether the mutated edge can participate in the view's paths.
+
+        ``label`` is the mutated edge's label when the caller knows it (the
+        delta subsystem always does); with ``label=None`` the base graph is
+        consulted for an edge with the view's label between the endpoints.
+        """
+        view_label = self.definition.edge_label
+        if view_label is None:
+            return True
+        if label is not None:
+            return label == view_label
+        return self.base_graph.has_edge(source, target, view_label)
+
     # ------------------------------------------------------------------ insert
-    def on_edge_added(self, source: VertexId, target: VertexId) -> MaintenanceReport:
+    def on_edge_added(self, source: VertexId, target: VertexId,
+                      label: str | None = None) -> MaintenanceReport:
         """Update the view after ``source -> target`` was added to the base graph.
 
         New k-hop paths through the new edge are found by combining backward
         paths ending at ``source`` with forward paths starting at ``target``.
+        For labeled views, the triggering edge and every joined hop must carry
+        the view's ``edge_label``.
         """
         report = MaintenanceReport()
+        if not (self.base_graph.has_vertex(source) and self.base_graph.has_vertex(target)):
+            # Replaying a delta whose endpoints were deleted later in the
+            # stream: any paths through this edge are gone already.
+            return report
+        if not self._trigger_label_matches(label, source, target):
+            return report
         k = self.definition.k
         assert k is not None
         source_type = self.definition.source_type
@@ -81,13 +121,15 @@ class ConnectorMaintainer:
 
     def _paths_ending_at(self, vertex_id: VertexId, max_edges: int) -> list[tuple[VertexId, ...]]:
         """All simple paths with 0..max_edges edges that end at ``vertex_id``
-        (returned including the endpoint, ordered source..vertex_id)."""
+        (returned including the endpoint, ordered source..vertex_id), using
+        only the view's edge label when one is set."""
+        label = self.definition.edge_label
         results: list[tuple[VertexId, ...]] = [(vertex_id,)]
         frontier: list[tuple[VertexId, ...]] = [(vertex_id,)]
         for _ in range(max_edges):
             next_frontier: list[tuple[VertexId, ...]] = []
             for path in frontier:
-                for edge in self.base_graph.in_edges(path[0]):
+                for edge in self.base_graph.in_edges(path[0], label):
                     if edge.source in path:
                         continue
                     extended = (edge.source,) + path
@@ -97,13 +139,15 @@ class ConnectorMaintainer:
         return results
 
     def _paths_starting_at(self, vertex_id: VertexId, max_edges: int) -> list[tuple[VertexId, ...]]:
-        """All simple paths with 0..max_edges edges that start at ``vertex_id``."""
+        """All simple paths with 0..max_edges edges that start at ``vertex_id``,
+        using only the view's edge label when one is set."""
+        label = self.definition.edge_label
         results: list[tuple[VertexId, ...]] = [(vertex_id,)]
         frontier: list[tuple[VertexId, ...]] = [(vertex_id,)]
         for _ in range(max_edges):
             next_frontier: list[tuple[VertexId, ...]] = []
             for path in frontier:
-                for edge in self.base_graph.out_edges(path[-1]):
+                for edge in self.base_graph.out_edges(path[-1], label):
                     if edge.target in path:
                         continue
                     extended = path + (edge.target,)
@@ -128,35 +172,132 @@ class ConnectorMaintainer:
         return 1
 
     # ------------------------------------------------------------------ delete
-    def on_edge_removed(self, source: VertexId, target: VertexId) -> MaintenanceReport:
+    def on_edge_removed(self, source: VertexId, target: VertexId,
+                        label: str | None = None) -> MaintenanceReport:
         """Update the view after ``source -> target`` was removed from the base graph.
 
-        Every contracted edge whose endpoints can no longer reach each other
-        within exactly k hops is dropped; others have their path counts
-        recomputed lazily (count maintenance is not required for correctness
-        of rewrites, only the edge set is).
+        See :meth:`on_edges_removed` (this is the single-edge case).
+        """
+        return self.on_edges_removed([(source, target, label)])
+
+    def on_edges_removed(
+        self, removed: "list[tuple[VertexId, VertexId, str | None]]"
+    ) -> MaintenanceReport:
+        """Update the view after a batch of edges left the base graph.
+
+        Only contracted edges whose k-hop neighborhood contains a removed edge
+        are re-examined: a contracted edge (u, v) can only have lost a witness
+        ``u ..-> source -> target ..-> v`` through some removed (source,
+        target), so u must reach a removed source going backward and v must be
+        reachable from a removed target going forward — within ``k - 1`` hops
+        over the view's edge label.  The removed edges themselves are kept as
+        a traversal *overlay* during this reachability pass: a witness may
+        have lost several of its hops in the same batch, and the surviving
+        graph alone then no longer connects the candidate endpoints to the
+        removal site.  Each candidate is dropped when its endpoints no longer
+        admit a **simple** k-hop witness path in the current graph; path
+        counts of survivors are not recomputed (count maintenance is not
+        required for correctness of rewrites, only the edge set is).
         """
         report = MaintenanceReport()
+        view_label = self.definition.edge_label
+        # A removed edge with a known non-matching label cannot have carried
+        # any witness path; with an unknown label we must assume it did.
+        relevant = [(source, target) for source, target, label in removed
+                    if view_label is None or label is None or label == view_label]
+        if not relevant:
+            return report
         k = self.definition.k
         assert k is not None
         view_graph = self.view.graph
+
+        overlay_in: dict[VertexId, list[VertexId]] = {}
+        overlay_out: dict[VertexId, list[VertexId]] = {}
+        for source, target in relevant:
+            overlay_out.setdefault(source, []).append(target)
+            overlay_in.setdefault(target, []).append(source)
+        starts: set[VertexId] = set()
+        ends: set[VertexId] = set()
+        for source, target in relevant:
+            starts |= self._reachable(source, k - 1, backward=True, overlay=overlay_in)
+            ends |= self._reachable(target, k - 1, backward=False, overlay=overlay_out)
+
         stale: list[int] = []
-        for edge in view_graph.edges(self.definition.output_label):
-            if not self._k_hop_path_exists(edge.source, edge.target, k):
-                stale.append(edge.id)
+        for u in starts:
+            if not view_graph.has_vertex(u):
+                continue
+            for edge in view_graph.out_edges(u, self.definition.output_label):
+                if edge.target not in ends:
+                    continue
+                if (not self.base_graph.has_vertex(edge.source)
+                        or not self.base_graph.has_vertex(edge.target)
+                        or not self._k_hop_path_exists(edge.source, edge.target, k)):
+                    stale.append(edge.id)
         for edge_id in stale:
+            edge = view_graph.edge(edge_id)
+            endpoints = (edge.source, edge.target)
             view_graph.remove_edge(edge_id)
             report.removed_edges += 1
+            # Materialization only emits path endpoints: an endpoint whose
+            # last contracted edge just vanished leaves the view with it.
+            for vertex_id in endpoints:
+                if view_graph.has_vertex(vertex_id) and view_graph.degree(vertex_id) == 0:
+                    view_graph.remove_vertex(vertex_id)
         return report
 
-    def _k_hop_path_exists(self, source: VertexId, target: VertexId, k: int) -> bool:
-        frontier = {source}
-        for _ in range(k):
-            next_frontier: set[VertexId] = set()
-            for vertex_id in frontier:
-                for edge in self.base_graph.out_edges(vertex_id):
-                    next_frontier.add(edge.target)
+    def _reachable(self, vertex_id: VertexId, max_hops: int, backward: bool,
+                   overlay: dict[VertexId, list[VertexId]] | None = None) -> set[VertexId]:
+        """Vertices within ``max_hops`` of ``vertex_id`` (including itself),
+        following the view's edge label, backward over in-edges or forward
+        over out-edges.  ``overlay`` contributes extra adjacency (the edges
+        removed in the current batch, traversable even when an endpoint
+        vertex no longer exists).  Walk-reachability is a superset of
+        simple-path reachability, which is all candidate pruning needs."""
+        label = self.definition.edge_label
+        seen = {vertex_id}
+        frontier = [vertex_id]
+        for _ in range(max_hops):
+            next_frontier: list[VertexId] = []
+            for current in frontier:
+                neighbors: list[VertexId] = []
+                if self.base_graph.has_vertex(current):
+                    edges = (self.base_graph.in_edges(current, label) if backward
+                             else self.base_graph.out_edges(current, label))
+                    neighbors.extend(edge.source if backward else edge.target
+                                     for edge in edges)
+                if overlay is not None:
+                    neighbors.extend(overlay.get(current, ()))
+                for neighbor in neighbors:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        next_frontier.append(neighbor)
+            if not next_frontier:
+                break
             frontier = next_frontier
-            if not frontier:
-                return False
-        return target in frontier
+        return seen
+
+    def _k_hop_path_exists(self, source: VertexId, target: VertexId, k: int) -> bool:
+        """Whether a simple k-hop path source -> target exists in the base graph.
+
+        Mirrors materialization exactly: traversal is restricted to the view's
+        ``edge_label``, intermediate vertices may not repeat, and the final hop
+        may close back onto the start (``allow_closing``) so that contracted
+        self-loops survive precisely when re-materialization would keep them.
+        """
+        label = self.definition.edge_label
+
+        def extend(current: VertexId, visited: set[VertexId], depth: int) -> bool:
+            if depth == k:
+                return current == target
+            for edge in self.base_graph.out_edges(current, label):
+                nxt = edge.target
+                if nxt in visited:
+                    is_closing_hop = (nxt == source and source == target
+                                      and depth == k - 1)
+                    if not is_closing_hop:
+                        continue
+                if extend(nxt, visited | {nxt}, depth + 1):
+                    return True
+            return False
+
+        return extend(source, {source}, 0)

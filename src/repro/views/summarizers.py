@@ -51,14 +51,10 @@ def materialize_summarizer(graph: PropertyGraph, view: SummarizerView) -> Proper
             aggregation functions are invalid.
     """
     kind = view.summarizer_kind
-    if kind == "vertex_inclusion":
-        return _filter_vertices(graph, view, keep=True)
-    if kind == "vertex_removal":
-        return _filter_vertices(graph, view, keep=False)
-    if kind == "edge_inclusion":
-        return _filter_edges(graph, view, keep=True)
-    if kind == "edge_removal":
-        return _filter_edges(graph, view, keep=False)
+    if kind in ("vertex_inclusion", "vertex_removal"):
+        return _filter_vertices(graph, view)
+    if kind in ("edge_inclusion", "edge_removal"):
+        return _filter_edges(graph, view)
     if kind in ("vertex_aggregator", "subgraph_aggregator"):
         return _aggregate_vertices(graph, view)
     if kind == "edge_aggregator":
@@ -67,8 +63,24 @@ def materialize_summarizer(graph: PropertyGraph, view: SummarizerView) -> Proper
 
 
 # ----------------------------------------------------------------- filtering
-def _filter_vertices(graph: PropertyGraph, view: SummarizerView, keep: bool) -> PropertyGraph:
+#: Summarizer kinds whose view is a pure subgraph filter — maintainable by
+#: applying the same keep-predicate to each base-graph delta event.
+FILTER_SUMMARIZER_KINDS = ("vertex_inclusion", "vertex_removal",
+                           "edge_inclusion", "edge_removal")
+
+
+def vertex_keep_predicate(view: SummarizerView) -> Callable[[Vertex], bool]:
+    """The vertex keep-predicate a filter summarizer materializes with.
+
+    For edge filters every vertex is kept; for vertex filters the predicate
+    combines the type set and property predicates (inverted for removal
+    kinds).  Shared with :mod:`repro.views.delta` so incremental maintenance
+    and full materialization can never disagree on what "kept" means.
+    """
+    if view.summarizer_kind in ("edge_inclusion", "edge_removal"):
+        return lambda vertex: True
     types = set(view.vertex_types)
+    keep = view.summarizer_kind == "vertex_inclusion"
 
     def predicate(vertex: Vertex) -> bool:
         in_types = (not types) or (vertex.type in types)
@@ -76,18 +88,34 @@ def _filter_vertices(graph: PropertyGraph, view: SummarizerView, keep: bool) -> 
         selected = in_types and satisfies
         return selected if keep else not selected
 
-    return filter_graph(graph, vertex_predicate=predicate,
-                        name=f"{graph.name}|{view.name}")
+    return predicate
 
 
-def _filter_edges(graph: PropertyGraph, view: SummarizerView, keep: bool) -> PropertyGraph:
+def edge_keep_predicate(view: SummarizerView) -> Callable[[Edge], bool]:
+    """The edge keep-predicate a filter summarizer materializes with.
+
+    Endpoint survival is *not* part of this predicate (filter_graph checks it
+    separately); vertex filters keep every edge between surviving endpoints.
+    """
+    if view.summarizer_kind in ("vertex_inclusion", "vertex_removal"):
+        return lambda edge: True
     labels = set(view.edge_labels)
+    keep = view.summarizer_kind == "edge_inclusion"
 
     def predicate(edge: Edge) -> bool:
         selected = edge.label in labels
         return selected if keep else not selected
 
-    return filter_graph(graph, edge_predicate=predicate,
+    return predicate
+
+
+def _filter_vertices(graph: PropertyGraph, view: SummarizerView) -> PropertyGraph:
+    return filter_graph(graph, vertex_predicate=vertex_keep_predicate(view),
+                        name=f"{graph.name}|{view.name}")
+
+
+def _filter_edges(graph: PropertyGraph, view: SummarizerView) -> PropertyGraph:
+    return filter_graph(graph, edge_predicate=edge_keep_predicate(view),
                         name=f"{graph.name}|{view.name}")
 
 

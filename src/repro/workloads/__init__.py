@@ -11,9 +11,13 @@ from repro.workloads.queries import (
 from repro.workloads.runner import (
     PreparedDataset,
     QueryRuntime,
+    StreamingBatchRecord,
+    StreamingRunResult,
     WorkloadRunResult,
+    generate_edge_mutations,
     prepare_dataset,
     run_query,
+    run_streaming_workload,
     run_workload,
 )
 
@@ -23,11 +27,15 @@ __all__ = [
     "LINEAGE_HOPS",
     "PreparedDataset",
     "QueryRuntime",
+    "StreamingBatchRecord",
+    "StreamingRunResult",
     "WorkloadRunResult",
     "WorkloadQuery",
     "build_workload",
+    "generate_edge_mutations",
     "prepare_dataset",
     "run_query",
+    "run_streaming_workload",
     "run_workload",
     "workload_for_dataset",
 ]

@@ -5,10 +5,17 @@ an equivalent 2-hop connector view (heterogeneous datasets), or the raw graph
 vs the connector (homogeneous datasets).  The runner prepares both graphs for
 a dataset, runs every workload query in both modes, and reports wall-clock
 time, a machine-independent work proxy (result size), and the speedup.
+
+Beyond the paper's read-only setup, :func:`run_streaming_workload` models the
+production serving scenario the ROADMAP targets: batches of base-graph
+mutations interleaved with workload queries, with the delta-maintenance
+subsystem (:class:`~repro.views.delta.MaintenanceManager`) keeping the
+connector view fresh between batches instead of re-materializing it.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -18,8 +25,10 @@ from repro.graph.property_graph import PropertyGraph
 from repro.graph.transform import induced_subgraph_by_vertex_types
 from repro.storage.base import GraphLike
 from repro.storage.manager import StorageManager
-from repro.views.catalog import ViewCatalog
+from repro.views.catalog import MaterializedView, ViewCatalog
+from repro.views.connectors import materialize_connector
 from repro.views.definitions import ConnectorView, keep_types_summarizer
+from repro.views.delta import MaintenanceManager
 from repro.workloads.queries import WorkloadQuery, _result_size, workload_for_dataset
 
 
@@ -69,6 +78,14 @@ class PreparedDataset:
     #: Storage manager that owns backend selection for the run (None keeps
     #: every query on the dict graphs, the pre-storage-subsystem behaviour).
     storage: StorageManager | None = None
+    #: Catalog holding the materialized connector (drives delta maintenance
+    #: in the streaming workload).
+    catalog: ViewCatalog | None = None
+    #: The materialized connector view itself.
+    view: MaterializedView | None = None
+    #: Path cap the connector was materialized with; forwarded to maintenance
+    #: fallbacks and verification rebuilds so they stay comparable.
+    max_connector_paths: int | None = None
 
     def graph_for(self, mode: str) -> GraphLike:
         """The representation queries in ``mode`` should run against.
@@ -79,7 +96,11 @@ class PreparedDataset:
         are served from read-optimized snapshots — keeping the base-vs-
         connector comparison on equal physical footing.
         """
-        graph = self.connector_graph if mode == "connector" else self.base_graph
+        if mode == "connector":
+            # Prefer the live view graph: maintenance may have replaced it.
+            graph = self.view.graph if self.view is not None else self.connector_graph
+        else:
+            graph = self.base_graph
         if self.storage is None:
             return graph
         return self.storage.store_for(graph, workload="read_mostly")
@@ -140,6 +161,9 @@ def prepare_dataset(spec: DatasetSpec, max_connector_paths: int | None = 2_000_0
         base_mode=base_mode,
         connector_definition=connector_definition,
         storage=storage if use_read_stores else None,
+        catalog=catalog,
+        view=view,
+        max_connector_paths=max_connector_paths,
     )
 
 
@@ -190,4 +214,145 @@ def run_workload(prepared: PreparedDataset,
                 seconds=total / max(repetitions, 1),
                 result_size=size,
             ))
+    return result
+
+
+# -------------------------------------------------------------- streaming mode
+@dataclass
+class StreamingBatchRecord:
+    """One mutation batch: what changed, how long maintenance took, queries run."""
+
+    batch_index: int
+    edges_added: int
+    edges_removed: int
+    refresh_seconds: float
+    view_edges_after: int
+    query_runtimes: list[QueryRuntime] = field(default_factory=list)
+
+
+@dataclass
+class StreamingRunResult:
+    """Result of a streaming-update workload run."""
+
+    dataset: str
+    batches: list[StreamingBatchRecord] = field(default_factory=list)
+    #: Whether the maintained view's edge set matched a from-scratch
+    #: re-materialization after the final batch (None when not verified).
+    final_view_consistent: bool | None = None
+
+    @property
+    def total_refresh_seconds(self) -> float:
+        return sum(batch.refresh_seconds for batch in self.batches)
+
+    @property
+    def total_mutations(self) -> int:
+        return sum(batch.edges_added + batch.edges_removed for batch in self.batches)
+
+
+def generate_edge_mutations(graph: PropertyGraph, count: int,
+                            rng: random.Random,
+                            remove_fraction: float = 0.3) -> tuple[int, int]:
+    """Apply ``count`` random schema-respecting edge mutations to ``graph``.
+
+    Removals pick a random existing edge; insertions clone the shape of a
+    random existing edge (same label, endpoint types drawn from the same
+    types), so the stream stays within the dataset's schema — mirroring
+    "new jobs write new files" style production traffic.
+
+    Returns:
+        (edges_added, edges_removed).
+    """
+    added = removed = 0
+    # One edge pool per call keeps generation O(E + count) instead of
+    # re-listing every edge per mutation; popped entries guarantee unique
+    # removal victims, and templates only need label + endpoint types.
+    pool = list(graph.edges())
+    type_ids: dict[str, list] = {}
+    for _ in range(count):
+        if not pool:
+            pool = list(graph.edges())
+            if not pool:
+                break
+        if rng.random() < remove_fraction:
+            index = rng.randrange(len(pool))
+            pool[index], pool[-1] = pool[-1], pool[index]
+            victim = pool.pop()
+            graph.remove_edge(victim.id)
+            removed += 1
+            continue
+        template = rng.choice(pool)
+        source_type = graph.vertex(template.source).type
+        target_type = graph.vertex(template.target).type
+        for vertex_type in (source_type, target_type):
+            if vertex_type not in type_ids:
+                type_ids[vertex_type] = graph.vertex_ids(vertex_type)
+        source = rng.choice(type_ids[source_type])
+        target = rng.choice(type_ids[target_type])
+        if source == target:
+            continue
+        graph.add_edge(source, target, template.label)
+        added += 1
+    return added, removed
+
+
+def run_streaming_workload(prepared: PreparedDataset,
+                           num_batches: int = 4,
+                           mutations_per_batch: int = 40,
+                           query_ids: Iterable[str] | None = None,
+                           seed: int = 17,
+                           remove_fraction: float = 0.3,
+                           verify: bool = True) -> StreamingRunResult:
+    """Interleave base-graph mutation batches with connector-mode queries.
+
+    Each round applies a batch of random edge mutations to the base graph,
+    refreshes every catalog view through the delta-maintenance subsystem, and
+    runs the workload queries in connector mode against the freshly
+    maintained (and re-frozen) view — the serving pattern of a system under
+    heavy mutating traffic.
+
+    Args:
+        prepared: Output of :func:`prepare_dataset` (must carry its catalog).
+        num_batches: Number of mutation/query rounds.
+        mutations_per_batch: Edge mutations applied per round.
+        query_ids: Restrict to specific queries (e.g. ``["Q2"]``).
+        seed: Mutation-stream RNG seed.
+        remove_fraction: Fraction of mutations that delete an edge.
+        verify: After the final batch, re-materialize the connector from
+            scratch and record whether the maintained edge set matches.
+    """
+    if prepared.catalog is None or prepared.view is None:
+        raise ValueError("run_streaming_workload needs a PreparedDataset with its catalog")
+    rng = random.Random(seed)
+    manager = MaintenanceManager(prepared.base_graph, prepared.catalog,
+                                 storage=prepared.storage,
+                                 max_paths=prepared.max_connector_paths)
+    wanted = set(query_ids) if query_ids is not None else None
+    queries = [query for query in workload_for_dataset(prepared.spec.name)
+               if wanted is None or query.query_id in wanted]
+    result = StreamingRunResult(dataset=prepared.spec.name)
+
+    for batch_index in range(num_batches):
+        added, removed = generate_edge_mutations(
+            prepared.base_graph, mutations_per_batch, rng,
+            remove_fraction=remove_fraction)
+        refresh = manager.refresh()
+        record = StreamingBatchRecord(
+            batch_index=batch_index,
+            edges_added=added,
+            edges_removed=removed,
+            refresh_seconds=refresh.elapsed_seconds,
+            view_edges_after=prepared.view.graph.num_edges,
+        )
+        for query in queries:
+            record.query_runtimes.append(run_query(query, prepared, "connector"))
+        result.batches.append(record)
+
+    if verify:
+        fresh = materialize_connector(prepared.base_graph,
+                                      prepared.connector_definition,
+                                      max_paths=prepared.max_connector_paths)
+        maintained_edges = {(e.source, e.target)
+                            for e in prepared.view.graph.edges()}
+        fresh_edges = {(e.source, e.target) for e in fresh.edges()}
+        result.final_view_consistent = maintained_edges == fresh_edges
     return result

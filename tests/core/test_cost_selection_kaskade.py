@@ -204,3 +204,76 @@ class TestKaskadeFacade:
         kaskade = Kaskade(graph)
         result = kaskade.enumerate_views(workload[0])
         assert len(result) > 0
+
+
+class TestSavedRewriteKeying:
+    def test_unnamed_queries_share_structural_key(self, graph):
+        kaskade = Kaskade(graph)
+        first = parse_query(BLAST_RADIUS)   # no name
+        kaskade.select_views([first], budget_edges=10_000_000)
+        assert kaskade._saved_rewrites
+        # A structurally identical (but distinct, differently-named) query
+        # object hits the same saved entry — id()-keyed storage could not.
+        twin = parse_query(BLAST_RADIUS, name="renamed")
+        assert (twin.structural_signature() in kaskade._saved_rewrites)
+        rewrite = kaskade.rewrite(twin)
+        assert rewrite is not None
+
+    def test_saved_rewrites_bounded(self, graph):
+        from repro.core.kaskade import _MAX_SAVED_REWRITES
+
+        kaskade = Kaskade(graph)
+        for index in range(_MAX_SAVED_REWRITES + 20):
+            query = parse_query(
+                f"MATCH (a:Job)-[:WRITES_TO]->(b:File) RETURN a LIMIT {index + 1}")
+            kaskade._save_rewrites(query, [])
+        assert len(kaskade._saved_rewrites) == _MAX_SAVED_REWRITES
+
+
+class TestKaskadeMaintenance:
+    def test_refresh_views_keeps_rewrites_correct(self, workload):
+        graph = lineage_graph(num_jobs=30, seed=9)
+        kaskade = Kaskade(graph)
+        kaskade.select_views([workload[1]], budget_edges=10_000_000)
+        # Mutate the base graph, refresh, and compare the rewritten execution
+        # against a raw execution of the same query.
+        rng = random.Random(21)
+        jobs = graph.vertex_ids("Job")
+        files = graph.vertex_ids("File")
+        for _ in range(20):
+            if rng.random() < 0.3 and graph.num_edges:
+                graph.remove_edge(rng.choice(list(graph.edges())).id)
+            elif rng.random() < 0.5:
+                graph.add_edge(rng.choice(jobs), rng.choice(files), "WRITES_TO")
+            else:
+                graph.add_edge(rng.choice(files), rng.choice(jobs), "IS_READ_BY")
+        report = kaskade.refresh_views()
+        assert report.refreshed >= 1
+        with_views = kaskade.execute(workload[1])
+        without_views = kaskade.execute(workload[1], use_views=False)
+        assert with_views.used_view is not None
+        assert ({(r["A"], r["B"]) for r in with_views.result.rows}
+                == {(r["A"], r["B"]) for r in without_views.result.rows})
+
+    def test_auto_refresh_on_execute(self, workload):
+        graph = lineage_graph(num_jobs=25, seed=4)
+        kaskade = Kaskade(graph, auto_refresh=True)
+        kaskade.select_views([workload[1]], budget_edges=10_000_000)
+        before = kaskade.execute(workload[1])
+        assert before.used_view is not None
+        # New lineage appears; the next execute must serve post-mutation data
+        # without an explicit refresh_views call.
+        job = graph.vertex_ids("Job")[0]
+        graph.add_vertex("f_new", "File")
+        graph.add_vertex("j_new", "Job")
+        graph.add_edge(job, "f_new", "WRITES_TO")
+        graph.add_edge("f_new", "j_new", "IS_READ_BY")
+        after = kaskade.execute(workload[1])
+        assert after.used_view is not None
+        raw = kaskade.execute(workload[1], use_views=False)
+        after_pairs = {(r["A"], r["B"]) for r in after.result.rows}
+        raw_pairs = {(r["A"], r["B"]) for r in raw.result.rows}
+        # The new lineage must be visible (j_new only exists post-mutation),
+        # and the auto-refreshed view must serve exactly the raw answer.
+        assert any(target == "j_new" for _, target in raw_pairs)
+        assert after_pairs == raw_pairs

@@ -1,0 +1,106 @@
+"""Unit tests for graph change capture (the bounded mutation log)."""
+
+import pytest
+
+from repro.graph import ChangeLog, GraphMutation, PropertyGraph
+
+
+@pytest.fixture
+def graph() -> PropertyGraph:
+    g = PropertyGraph(name="captured")
+    g.add_vertex("a", "Job")
+    g.add_vertex("b", "Job")
+    return g
+
+
+class TestChangeLogUnit:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ChangeLog(capacity=0)
+
+    def test_events_since_and_floor(self):
+        log = ChangeLog(capacity=10, start_version=5)
+        assert log.floor_version == 5
+        assert log.events_since(5) == []
+        assert log.events_since(4) is None  # before capture started
+        log.record(GraphMutation(version=6, kind="add_vertex", vertex_id="x"))
+        log.record(GraphMutation(version=7, kind="add_vertex", vertex_id="y"))
+        assert [e.vertex_id for e in log.events_since(5)] == ["x", "y"]
+        assert [e.vertex_id for e in log.events_since(6)] == ["y"]
+        assert log.events_since(7) == []
+
+    def test_eviction_moves_floor(self):
+        log = ChangeLog(capacity=2, start_version=0)
+        for version in (1, 2, 3):
+            log.record(GraphMutation(version=version, kind="add_vertex", vertex_id=version))
+        assert len(log) == 2
+        assert log.floor_version == 1
+        assert not log.can_replay_from(0)
+        assert log.events_since(0) is None
+        assert [e.version for e in log.events_since(1)] == [2, 3]
+
+    def test_truncate_before(self):
+        log = ChangeLog(capacity=10, start_version=0)
+        for version in (1, 2, 3):
+            log.record(GraphMutation(version=version, kind="add_vertex", vertex_id=version))
+        assert log.truncate_before(2) == 2
+        assert log.floor_version == 2
+        assert [e.version for e in log.events_since(2)] == [3]
+        assert log.events_since(1) is None
+
+
+class TestPropertyGraphCapture:
+    def test_disabled_by_default(self, graph):
+        assert graph.changelog is None
+        graph.add_edge("a", "b", "CALLS")  # no error, nothing recorded
+
+    def test_enable_is_idempotent_and_shared(self, graph):
+        log = graph.enable_change_capture(capacity=16)
+        assert graph.enable_change_capture() is log
+
+    def test_records_all_topological_mutations(self, graph):
+        log = graph.enable_change_capture()
+        start = graph.version
+        edge = graph.add_edge("a", "b", "CALLS")
+        graph.add_vertex("c", "File")
+        graph.remove_edge(edge.id)
+        events = log.events_since(start)
+        assert [e.kind for e in events] == ["add_edge", "add_vertex", "remove_edge"]
+        add_event, _, remove_event = events
+        assert (add_event.source, add_event.target, add_event.label) == ("a", "b", "CALLS")
+        assert remove_event.edge_id == edge.id
+        assert remove_event.label == "CALLS"
+
+    def test_property_merge_is_not_recorded(self, graph):
+        log = graph.enable_change_capture()
+        start = graph.version
+        graph.add_vertex("a", "Job", cpu=10)  # merge into existing vertex
+        assert log.events_since(start) == []
+
+    def test_remove_vertex_logs_cascaded_edges_first(self, graph):
+        graph.add_vertex("c", "File")
+        graph.add_edge("a", "c", "WRITES_TO")
+        graph.add_edge("c", "b", "IS_READ_BY")
+        log = graph.enable_change_capture()
+        start = graph.version
+        graph.remove_vertex("c")
+        kinds = [e.kind for e in log.events_since(start)]
+        assert kinds == ["remove_edge", "remove_edge", "remove_vertex"]
+        assert log.events_since(start)[-1].vertex_id == "c"
+
+    def test_versions_are_monotonic_and_match_graph(self, graph):
+        log = graph.enable_change_capture()
+        start = graph.version
+        graph.add_vertex("c", "File")
+        graph.add_edge("a", "c", "WRITES_TO")
+        versions = [e.version for e in log.events_since(start)]
+        assert versions == sorted(versions)
+        assert versions[-1] == graph.version
+
+    def test_disable_detaches(self, graph):
+        log = graph.enable_change_capture()
+        graph.disable_change_capture()
+        start = graph.version
+        graph.add_vertex("d", "File")
+        assert graph.changelog is None
+        assert log.events_since(start) == []

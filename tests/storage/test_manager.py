@@ -167,3 +167,83 @@ class TestDurabilityWiring:
             manager.save_catalog(ViewCatalog())
         with pytest.raises(ViewError):
             manager.load_catalog()
+
+
+class TestMaintenanceRefreeze:
+    def test_on_maintained_refreezes_instead_of_dropping(self):
+        manager = StorageManager(StoragePolicy(min_edges_to_freeze=1))
+        catalog = ViewCatalog(storage=manager)
+        graph = summarized_provenance_graph(num_jobs=40, seed=7)
+        view = catalog.materialize(graph, job_to_job_connector())
+        jobs = view.graph.vertex_ids("Job")
+        view.graph.add_edge(jobs[0], jobs[1], view.definition.output_label)
+        assert view.read_store() is view.graph  # stale without the hook
+        manager.on_maintained(view)
+        assert view.store is not None
+        assert view.store.source_version == view.graph.version
+        assert view.read_store() is view.store
+        assert manager.stats.views_refrozen == 1
+
+    def test_on_maintained_fresh_snapshot_is_noop(self):
+        manager = StorageManager(StoragePolicy(min_edges_to_freeze=1))
+        catalog = ViewCatalog(storage=manager)
+        graph = summarized_provenance_graph(num_jobs=40, seed=7)
+        view = catalog.materialize(graph, job_to_job_connector())
+        store = view.store
+        manager.on_maintained(view)
+        assert view.store is store
+        assert manager.stats.views_refrozen == 0
+
+    def test_on_maintained_respects_size_floor(self):
+        manager = StorageManager(StoragePolicy(min_edges_to_freeze=1_000_000))
+        catalog = ViewCatalog(storage=manager)
+        graph = summarized_provenance_graph(num_jobs=40, seed=7)
+        view = catalog.materialize(graph, job_to_job_connector())
+        manager.on_maintained(view)
+        assert view.store is None
+
+
+class TestUnionCache:
+    def _setup(self):
+        manager = StorageManager()
+        catalog = ViewCatalog(storage=manager)
+        graph = summarized_provenance_graph(num_jobs=40, seed=7)
+        view = catalog.materialize(graph, job_to_job_connector())
+        return manager, graph, view
+
+    def test_union_cached_until_either_side_mutates(self):
+        manager, graph, view = self._setup()
+        first = manager.union_for(graph, view)
+        assert manager.union_for(graph, view) is first
+        assert manager.stats.unions_built == 1
+        assert manager.stats.union_hits == 1
+        # Base-graph mutation invalidates.
+        jobs = graph.vertex_ids("Job")
+        files = graph.vertex_ids("File")
+        graph.add_edge(jobs[0], files[0], "WRITES_TO")
+        second = manager.union_for(graph, view)
+        assert second is not first
+        assert manager.stats.unions_built == 2
+        # View-graph mutation invalidates too.
+        view.graph.add_edge(jobs[0], jobs[1], view.definition.output_label)
+        third = manager.union_for(graph, view)
+        assert third is not second
+        assert manager.stats.unions_built == 3
+
+    def test_union_contains_both_edge_sets(self):
+        manager, graph, view = self._setup()
+        combined = manager.union_for(graph, view)
+        assert combined.num_edges == graph.num_edges + view.graph.num_edges
+
+    def test_union_cache_bounded(self):
+        from repro.storage.manager import _MAX_UNION_ENTRIES
+
+        manager = StorageManager()
+        catalog = ViewCatalog(storage=manager)
+        graph = summarized_provenance_graph(num_jobs=30, seed=7)
+        for index in range(_MAX_UNION_ENTRIES + 3):
+            view = catalog.materialize(graph, job_to_job_connector(
+                k=2, name=f"conn{index}"))
+            catalog.drop(view.definition)
+            manager.union_for(graph, view)
+        assert len(manager._unions) == _MAX_UNION_ENTRIES
