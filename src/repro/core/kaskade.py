@@ -9,10 +9,13 @@ This module ties every component of Fig. 2 together around one base graph:
 * the **query rewriter** (:meth:`Kaskade.rewrite`) finds, among the
   *materialized* views, the rewrite with the smallest estimated evaluation
   cost for an incoming query;
-* the **execution engine** (:meth:`Kaskade.execute`) evaluates the original or
-  rewritten query with the pattern-matching executor, automatically choosing
-  the right target graph (the connector view's graph, a summarized graph, or
-  the raw graph).
+* the **execution engine** (:meth:`Kaskade.execute`) plans the original query
+  against the base graph and every applicable rewrite against its view,
+  compares the *planned* costs (cached per query signature + graph version),
+  and runs the cheaper plan through the batched operator pipeline
+  (:mod:`repro.query.plan`) — automatically choosing the right target graph
+  (the connector view's graph, a summarized graph, the base∪connector union,
+  or the raw graph).
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.core.cost_model import CandidateAssessment, ViewCostModel
-from repro.errors import ViewError
+from repro.errors import QueryExecutionError, ViewError
 from repro.core.enumerator import EnumerationResult, ViewEnumerator
 from repro.core.estimator import DEFAULT_ALPHA
 from repro.core.rewriter import QueryRewriter, RewrittenQuery
@@ -33,7 +36,8 @@ from repro.graph.schema import GraphSchema
 from repro.graph.statistics import compute_statistics
 from repro.query.ast import GraphQuery
 from repro.query.cost import QueryCostModel
-from repro.query.executor import ExecutionResult, QueryExecutor
+from repro.query.executor import ENGINES, ExecutionResult, QueryExecutor
+from repro.query.plan import LogicalPlan, PhysicalExecutor, QueryPlanner
 from repro.query.parser import parse_query
 from repro.storage.base import GraphLike
 from repro.storage.manager import StorageManager
@@ -44,6 +48,15 @@ from repro.views.delta import MaintenanceManager, RefreshReport
 
 #: Saved per-query rewrites retained at once (oldest evicted first).
 _MAX_SAVED_REWRITES = 512
+
+#: Cached logical plans retained at once (keyed like saved rewrites, plus the
+#: target graph's identity and version; oldest evicted first).
+_MAX_SAVED_PLANS = 1024
+
+#: Cached per-(graph, version) cost models / planners retained at once.  Under
+#: mutating traffic every refresh mints a new version key, so these must be
+#: bounded like the plan cache (oldest evicted first).
+_MAX_CACHED_MODELS = 64
 
 
 @dataclass
@@ -61,17 +74,46 @@ class MaterializationReport:
 
 @dataclass
 class QueryOutcome:
-    """Result of executing a query through KASKADE."""
+    """Result of executing a query through KASKADE.
+
+    Besides the rows and work counters, the outcome records the *decision*
+    the optimizer made: the planned cost of running the query on the base
+    graph (``base_cost``), the planned cost of the best view rewrite
+    (``rewrite_cost``, None when no rewrite applied), and the logical plan
+    that was actually executed (``plan``, None under the interpreter
+    engine).  ``explain()`` renders the whole decision for humans.
+    """
 
     query: GraphQuery
     result: ExecutionResult
     used_view: MaterializedView | None = None
     rewrite: RewrittenQuery | None = None
     elapsed_seconds: float = 0.0
+    plan: LogicalPlan | None = None
+    base_cost: float | None = None
+    rewrite_cost: float | None = None
+    #: Name of the best applicable rewrite's view, set even when the base
+    #: plan won the cost comparison and the view did not run.
+    considered_view: str | None = None
+    engine: str = "planner"
 
     @property
     def used_view_name(self) -> str | None:
         return self.used_view.definition.name if self.used_view else None
+
+    def explain(self) -> str:
+        """Human-readable account of the base-vs-view decision and the plan."""
+        lines = []
+        if self.base_cost is not None:
+            lines.append(f"base plan cost: {self.base_cost:.1f}")
+        if self.rewrite_cost is not None:
+            label = self.used_view_name or self.considered_view or "?"
+            lines.append(f"best view rewrite ({label}): {self.rewrite_cost:.1f}")
+        chosen = "view rewrite" if self.used_view is not None else "base query"
+        lines.append(f"chosen: {chosen} [engine={self.engine}]")
+        if self.plan is not None:
+            lines.append(self.plan.explain())
+        return "\n".join(lines)
 
 
 class Kaskade:
@@ -133,6 +175,16 @@ class Kaskade:
         # ids can be recycled after GC (serving another query's rewrites) and
         # per-object keys grow without bound.
         self._saved_rewrites: dict[str, list[RewrittenQuery]] = {}
+        # Planner/cost-model caches, keyed by (graph name, version): rewrite
+        # assessment touches every rewrite of every query, so statistics and
+        # degree summaries must not be recomputed per rewrite.  Versioned
+        # keys make mutations (base graph updates, view maintenance)
+        # invalidate naturally.
+        self._cost_models: dict[tuple[str, int | None], QueryCostModel] = {}
+        self._planners: dict[tuple[str, int | None], QueryPlanner] = {}
+        # (query signature, graph name, graph version) -> logical plan; the
+        # per-query analogue of saved rewrites.
+        self._saved_plans: dict[tuple[str, str, int | None], LogicalPlan] = {}
 
     # ----------------------------------------------------------------- parsing
     def parse(self, text: str, name: str = "") -> GraphQuery:
@@ -198,13 +250,65 @@ class Kaskade:
             return None
         return min(rewrites, key=self._rewrite_cost)
 
+    # ------------------------------------------------------ planning & costing
+    def _graph_key(self, graph: GraphLike) -> tuple[str, int | None]:
+        return (getattr(graph, "name", "?"), getattr(graph, "version", None))
+
+    def cost_model_for(self, graph: GraphLike) -> QueryCostModel:
+        """The AST-level cost model for a graph, cached per (name, version)."""
+        key = self._graph_key(graph)
+        model = self._cost_models.get(key)
+        if model is None:
+            if len(self._cost_models) >= _MAX_CACHED_MODELS:
+                self._cost_models.pop(next(iter(self._cost_models)))
+            model = QueryCostModel.for_graph(graph)
+            self._cost_models[key] = model
+        return model
+
+    def planner_for(self, graph: GraphLike) -> QueryPlanner:
+        """The query planner for a graph, cached per (name, version).
+
+        Shares the statistics already computed for the cached cost model, so
+        assessing N rewrites against one view costs one degree scan total.
+        """
+        key = self._graph_key(graph)
+        planner = self._planners.get(key)
+        if planner is None:
+            if len(self._planners) >= _MAX_CACHED_MODELS:
+                self._planners.pop(next(iter(self._planners)))
+            planner = QueryPlanner(statistics=self.cost_model_for(graph).statistics)
+            self._planners[key] = planner
+        return planner
+
+    def plan_for(self, query: GraphQuery, graph: GraphLike) -> LogicalPlan:
+        """The logical plan of ``query`` over ``graph``.
+
+        Cached per (structural query signature, graph name, graph version) —
+        the execution-layer analogue of saved rewrites: repeated queries of a
+        serving workload skip planning entirely until the target mutates.
+        """
+        name, version = self._graph_key(graph)
+        key = (query.structural_signature(), name, version)
+        plan = self._saved_plans.get(key)
+        if plan is None:
+            if key not in self._saved_plans and len(self._saved_plans) >= _MAX_SAVED_PLANS:
+                self._saved_plans.pop(next(iter(self._saved_plans)))
+            plan = self.planner_for(graph).plan(query)
+            self._saved_plans[key] = plan
+        return plan
+
     def _rewrite_cost(self, rewrite: RewrittenQuery) -> float:
-        """Estimated evaluation cost of a rewrite over its materialized view."""
+        """Planned evaluation cost of a rewrite over its materialized view.
+
+        Costs the *plan* of the rewritten query against the view graph's
+        statistics (pushdown and join order included), not the bare AST; the
+        union graph of a mixed rewrite is approximated by the view graph to
+        keep costing read-only.
+        """
         view = self.catalog.find(rewrite.candidate.definition)
         if view is None:
             return float("inf")
-        model = QueryCostModel.for_graph(view.graph)
-        return model.estimate_total(rewrite.rewritten)
+        return self.plan_for(rewrite.rewritten, view.graph).estimated_cost
 
     # -------------------------------------------------------------- maintenance
     def _make_maintenance(self) -> MaintenanceManager:
@@ -236,26 +340,71 @@ class Kaskade:
 
     # ---------------------------------------------------------------- execution
     def execute(self, query: GraphQuery, use_views: bool = True,
-                max_bindings: int | None = None) -> QueryOutcome:
-        """Execute a query, using the best materialized view when beneficial."""
+                max_work: int | None = None, engine: str = "planner",
+                *, max_bindings: int | None = None) -> QueryOutcome:
+        """Execute a query, choosing base vs. best view by planned cost.
+
+        The decision mirrors §V-C at execution time: the base query is
+        planned against the base graph, every applicable rewrite is planned
+        against its view, and the cheaper plan runs (the view wins ties —
+        its statistics are exact where the base estimate saturates).  The
+        outcome records both costs and the executed plan.
+
+        Args:
+            query: Parsed query to run.
+            use_views: Consider materialized-view rewrites at all.
+            max_work: Work budget forwarded to the executor.
+            engine: ``"planner"`` (default) or ``"interpreter"`` — the
+                latter runs the seed backtracking engine (the same
+                base-vs-view choice still applies) and is what differential
+                tests compare against.
+            max_bindings: Deprecated alias for ``max_work``.
+        """
         start = time.perf_counter()
+        if engine not in ENGINES:
+            raise QueryExecutionError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if max_work is None:
+            max_work = max_bindings
         if use_views and self.auto_refresh and len(self.catalog):
             self.refresh_views()
+        base = self.storage.store_for(self.graph)
+        base_cost = self.plan_for(query, base).estimated_cost
         rewrite = self.rewrite(query) if use_views else None
-        if rewrite is None:
-            base = self.storage.store_for(self.graph)
-            result = QueryExecutor(base, max_bindings=max_bindings).execute(query)
-            return QueryOutcome(query=query, result=result,
+        rewrite_cost = self._rewrite_cost(rewrite) if rewrite is not None else None
+        considered = rewrite.candidate.definition.name if rewrite is not None else None
+
+        if rewrite is not None and rewrite_cost <= base_cost:
+            view = self.catalog.get(rewrite.candidate.definition)
+            target = self._target_graph(rewrite, view)
+            result, plan = self._run(rewrite.rewritten, target, engine, max_work)
+            return QueryOutcome(query=query, result=result, used_view=view,
+                                rewrite=rewrite, plan=plan, base_cost=base_cost,
+                                rewrite_cost=rewrite_cost,
+                                considered_view=considered, engine=engine,
                                 elapsed_seconds=time.perf_counter() - start)
-        view = self.catalog.get(rewrite.candidate.definition)
-        target = self._target_graph(rewrite, view)
-        result = QueryExecutor(target, max_bindings=max_bindings).execute(rewrite.rewritten)
-        return QueryOutcome(query=query, result=result, used_view=view, rewrite=rewrite,
+        result, plan = self._run(query, base, engine, max_work)
+        return QueryOutcome(query=query, result=result, plan=plan,
+                            base_cost=base_cost, rewrite_cost=rewrite_cost,
+                            considered_view=considered, engine=engine,
                             elapsed_seconds=time.perf_counter() - start)
 
-    def execute_text(self, text: str, name: str = "", use_views: bool = True) -> QueryOutcome:
+    def _run(self, query: GraphQuery, target: GraphLike, engine: str,
+             max_work: int | None) -> tuple[ExecutionResult, LogicalPlan | None]:
+        """Run one query on one graph with the chosen engine."""
+        if engine == "interpreter":
+            result = QueryExecutor(target, max_work=max_work,
+                                   engine="interpreter").execute(query)
+            return result, None
+        plan = self.plan_for(query, target)
+        result = PhysicalExecutor(target, max_work=max_work).execute(plan)
+        return result, plan
+
+    def execute_text(self, text: str, name: str = "", use_views: bool = True,
+                     engine: str = "planner") -> QueryOutcome:
         """Parse and execute query text."""
-        return self.execute(self.parse(text, name=name), use_views=use_views)
+        return self.execute(self.parse(text, name=name), use_views=use_views,
+                            engine=engine)
 
     def _target_graph(self, rewrite: RewrittenQuery, view: MaterializedView) -> GraphLike:
         """Pick the graph the rewritten query should run against.

@@ -24,11 +24,20 @@ from repro.query.ast import (
 )
 from repro.query.parser import parse_pattern, parse_query, tokenize
 from repro.query.executor import (
+    ENGINES,
     ExecutionResult,
     ExecutionStats,
     QueryExecutor,
     execute_query,
 )
+from repro.query.interpreter import BacktrackingInterpreter
+from repro.query.plan import (
+    LogicalPlan,
+    PhysicalExecutor,
+    QueryPlanner,
+    plan_query,
+)
+from repro.query.projection import distinct_rows
 from repro.query.cost import CostEstimate, QueryCostModel, estimate_query_cost
 from repro.query.aggregates import (
     Distinct,
@@ -44,9 +53,11 @@ from repro.query.aggregates import (
 
 __all__ = [
     "AGGREGATE_FUNCTIONS",
+    "BacktrackingInterpreter",
     "Condition",
     "CostEstimate",
     "Distinct",
+    "ENGINES",
     "EdgePattern",
     "ExecutionResult",
     "ExecutionStats",
@@ -55,16 +66,20 @@ __all__ = [
     "GraphQuery",
     "GroupBy",
     "Limit",
+    "LogicalPlan",
     "NodePattern",
     "OrderBy",
     "PathPattern",
+    "PhysicalExecutor",
     "Pipeline",
     "PropertyRef",
     "QueryCostModel",
     "QueryExecutor",
+    "QueryPlanner",
     "ReturnItem",
     "Select",
     "Stage",
+    "distinct_rows",
     "edge",
     "estimate_query_cost",
     "execute_query",
@@ -72,6 +87,7 @@ __all__ = [
     "parse_pattern",
     "parse_query",
     "path",
+    "plan_query",
     "ref",
     "returns",
     "tokenize",

@@ -1,342 +1,118 @@
-"""Graph pattern-matching executor.
+"""Query execution facade: plan-then-run, with the seed interpreter on tap.
 
 This module evaluates :class:`~repro.query.ast.GraphQuery` objects over a
-:class:`~repro.graph.PropertyGraph`, playing the role of Neo4j's execution
-engine in the paper (§II, §VII-A).  Matching proceeds path by path with
-backtracking over shared variables; variable-length edge patterns (the
-``-[r*0..8]->`` construct of Listing 1) are evaluated with a bounded
-breadth-first expansion.
+:class:`~repro.graph.PropertyGraph` or any pluggable
+:class:`~repro.storage.base.GraphStore`, playing the role of Neo4j's
+cost-based execution engine in the paper (§II, §VII-A).  Since the planner
+refactor it is a thin facade over two engines:
 
-The executor also keeps simple work counters (vertices scanned, edges
-expanded) that the benchmarks report next to wall-clock time; they are the
-machine-independent signal that connector views reduce traversal work.
+* ``engine="planner"`` (default) — build a :class:`~repro.query.plan.logical.
+  LogicalPlan` with the statistics-driven planner (scan ordering, path
+  orientation, predicate pushdown) and run it through the batched physical
+  operators of :mod:`repro.query.plan.physical`;
+* ``engine="interpreter"`` — the seed one-binding-at-a-time backtracking
+  interpreter (:mod:`repro.query.interpreter`), kept as the differential
+  oracle for planner changes.
+
+Both engines share the RETURN-clause machinery
+(:mod:`repro.query.projection`) and the work counters
+(:class:`~repro.query.stats.ExecutionStats`) that the benchmarks report next
+to wall-clock time — the machine-independent signal that connector views
+*and* planned execution reduce traversal work.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping, Sequence
-
 from repro.errors import QueryExecutionError
-from repro.graph.property_graph import PropertyGraph, Vertex, VertexId
+from repro.query.ast import GraphQuery
+from repro.query.interpreter import BacktrackingInterpreter
+from repro.query.plan.logical import LogicalPlan
+from repro.query.plan.physical import PhysicalExecutor
+from repro.query.plan.planner import QueryPlanner
+from repro.query.projection import Binding, distinct_rows, finalize_rows
+from repro.query.stats import ExecutionResult, ExecutionStats
 from repro.storage.base import GraphLike
-from repro.query.ast import (
-    Condition,
-    EdgePattern,
-    GraphQuery,
-    NodePattern,
-    PathPattern,
-    PropertyRef,
-    ReturnItem,
-)
 
-Binding = dict[str, VertexId]
-
-
-@dataclass
-class ExecutionStats:
-    """Work counters accumulated while evaluating a query."""
-
-    vertices_scanned: int = 0
-    edges_expanded: int = 0
-    bindings_produced: int = 0
-
-    @property
-    def total_work(self) -> int:
-        """A single scalar summarizing traversal work."""
-        return self.vertices_scanned + self.edges_expanded
-
-
-@dataclass
-class ExecutionResult:
-    """Rows produced by a query plus the work counters."""
-
-    rows: list[dict[str, Any]]
-    stats: ExecutionStats = field(default_factory=ExecutionStats)
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-    def __iter__(self) -> Iterator[dict[str, Any]]:
-        return iter(self.rows)
-
-    def column(self, name: str) -> list[Any]:
-        """All values of one output column."""
-        return [row.get(name) for row in self.rows]
+#: Engines selectable on :class:`QueryExecutor`.
+ENGINES = ("planner", "interpreter")
 
 
 class QueryExecutor:
-    """Evaluates graph-pattern queries against a property graph."""
+    """Evaluates graph-pattern queries against a property graph.
 
-    def __init__(self, graph: GraphLike, max_bindings: int | None = None) -> None:
-        """Create an executor.
+    Args:
+        graph: Graph (or read-optimized store) to evaluate queries against.
+        max_work: Optional **work budget**: an upper bound on traversal work
+            (``vertices scanned + edges expanded``, i.e.
+            :attr:`ExecutionStats.total_work`).  Exceeding it raises
+            :class:`QueryExecutionError`, protecting benchmarks from runaway
+            cartesian products.  (Historically misnamed ``max_bindings``;
+            the old keyword is still accepted.)
+        engine: ``"planner"`` (default) for cost-based planning + batched
+            operators, ``"interpreter"`` for the seed backtracking matcher.
+        planner: Optional pre-built :class:`QueryPlanner` (e.g. one sharing
+            cached statistics); a fresh one is built from ``graph`` when
+            omitted.
+        max_bindings: Deprecated alias for ``max_work``.
+    """
 
-        Args:
-            graph: Graph (or read-optimized store) to evaluate queries against.
-            max_bindings: Optional safety cap on the number of pattern bindings
-                explored (raises :class:`QueryExecutionError` when exceeded),
-                protecting benchmarks from runaway cartesian products.
-        """
+    def __init__(self, graph: GraphLike, max_work: int | None = None,
+                 engine: str = "planner", planner: QueryPlanner | None = None,
+                 *, max_bindings: int | None = None) -> None:
+        if engine not in ENGINES:
+            raise QueryExecutionError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.graph = graph
-        self.max_bindings = max_bindings
+        self.max_work = max_work if max_work is not None else max_bindings
+        self.engine = engine
+        self._planner = planner
+
+    @property
+    def max_bindings(self) -> int | None:
+        """Deprecated alias for :attr:`max_work` (it always was a work budget)."""
+        return self.max_work
 
     # ------------------------------------------------------------------ public
+    def plan(self, query: GraphQuery) -> LogicalPlan:
+        """The logical plan this executor would run for ``query``."""
+        if self._planner is None:
+            self._planner = QueryPlanner(self.graph)
+        return self._planner.plan(query)
+
     def execute(self, query: GraphQuery) -> ExecutionResult:
         """Evaluate a query and return projected rows plus work counters."""
-        stats = ExecutionStats()
-        bindings = list(self._match_all(query, stats))
-        stats.bindings_produced = len(bindings)
-        rows = self._project(query, bindings)
-        if query.distinct:
-            rows = _distinct_rows(rows)
-        if query.limit is not None:
-            rows = rows[: query.limit]
-        return ExecutionResult(rows=rows, stats=stats)
+        if self.engine == "interpreter":
+            return self._execute_interpreter(query)
+        return PhysicalExecutor(self.graph, max_work=self.max_work).execute(
+            self.plan(query))
 
     def bindings(self, query: GraphQuery) -> list[Binding]:
         """All pattern bindings (variable -> vertex id), before projection."""
         stats = ExecutionStats()
-        return list(self._match_all(query, stats))
+        if self.engine == "interpreter":
+            matcher = BacktrackingInterpreter(self.graph, max_work=self.max_work)
+            return list(matcher.match_all(query, stats))
+        runner = PhysicalExecutor(self.graph, max_work=self.max_work)
+        return runner.run_bindings(self.plan(query), stats)
 
-    # ---------------------------------------------------------------- matching
-    def _match_all(self, query: GraphQuery, stats: ExecutionStats) -> Iterator[Binding]:
-        paths = self._order_paths(query.match)
-        yield from self._match_paths(paths, 0, {}, query, stats)
-
-    def _order_paths(self, paths: Sequence[PathPattern]) -> list[PathPattern]:
-        """Order path patterns so that each one shares a variable with the prefix
-        when possible (connected join order)."""
-        remaining = list(paths)
-        ordered: list[PathPattern] = []
-        bound: set[str] = set()
-        while remaining:
-            chosen_index = 0
-            for index, candidate in enumerate(remaining):
-                if bound and any(v in bound for v in candidate.variables()):
-                    chosen_index = index
-                    break
-            chosen = remaining.pop(chosen_index)
-            ordered.append(chosen)
-            bound.update(chosen.variables())
-        return ordered
-
-    def _match_paths(self, paths: list[PathPattern], index: int, binding: Binding,
-                     query: GraphQuery, stats: ExecutionStats) -> Iterator[Binding]:
-        if index == len(paths):
-            if self._where_satisfied(query.where, binding):
-                yield dict(binding)
-            return
-        for extended in self._match_path(paths[index], binding, stats):
-            yield from self._match_paths(paths, index + 1, extended, query, stats)
-
-    def _match_path(self, path: PathPattern, binding: Binding,
-                    stats: ExecutionStats) -> Iterator[Binding]:
-        """Match one path pattern, extending an existing binding."""
-        yield from self._match_from_node(path, 0, binding, stats)
-
-    def _match_from_node(self, path: PathPattern, position: int, binding: Binding,
-                         stats: ExecutionStats) -> Iterator[Binding]:
-        node_pattern = path.nodes[position]
-        for candidate_binding in self._bind_node(node_pattern, binding, stats):
-            if position == len(path.edges):
-                yield candidate_binding
-            else:
-                yield from self._expand_edge(path, position, candidate_binding, stats)
-
-    def _bind_node(self, pattern: NodePattern, binding: Binding,
-                   stats: ExecutionStats) -> Iterator[Binding]:
-        """Bind a node pattern, respecting an existing binding for its variable."""
-        if pattern.variable in binding:
-            vertex_id = binding[pattern.variable]
-            vertex = self.graph.vertex(vertex_id)
-            if self._node_matches(pattern, vertex):
-                yield binding
-            return
-        for vertex in self.graph.vertices(pattern.label):
-            stats.vertices_scanned += 1
-            if self._node_matches(pattern, vertex):
-                extended = dict(binding)
-                extended[pattern.variable] = vertex.id
-                self._check_binding_budget(stats)
-                yield extended
-
-    def _expand_edge(self, path: PathPattern, position: int, binding: Binding,
-                     stats: ExecutionStats) -> Iterator[Binding]:
-        """Expand the edge pattern at ``position`` from the bound source node."""
-        edge_pattern = path.edges[position]
-        source_variable = path.nodes[position].variable
-        target_pattern = path.nodes[position + 1]
-        source_id = binding[source_variable]
-
-        if edge_pattern.is_variable_length:
-            targets = self._variable_length_targets(source_id, edge_pattern, stats)
-        else:
-            targets = self._single_hop_targets(source_id, edge_pattern, stats)
-
-        for target_id in targets:
-            target_vertex = self.graph.vertex(target_id)
-            if not self._node_matches(target_pattern, target_vertex):
-                continue
-            if target_pattern.variable in binding:
-                if binding[target_pattern.variable] != target_id:
-                    continue
-                extended = binding
-            else:
-                extended = dict(binding)
-                extended[target_pattern.variable] = target_id
-            self._check_binding_budget(stats)
-            yield from self._match_from_node_with_target(path, position + 1, extended, stats)
-
-    def _match_from_node_with_target(self, path: PathPattern, position: int,
-                                     binding: Binding,
-                                     stats: ExecutionStats) -> Iterator[Binding]:
-        """Continue matching after an edge expansion bound the node at ``position``."""
-        if position == len(path.edges):
-            yield binding
-        else:
-            yield from self._expand_edge(path, position, binding, stats)
-
-    def _single_hop_targets(self, source_id: VertexId, pattern: EdgePattern,
-                            stats: ExecutionStats) -> Iterator[VertexId]:
-        if pattern.direction == "out":
-            edges = self.graph.out_edges(source_id, pattern.label)
-            for edge in edges:
-                stats.edges_expanded += 1
-                yield edge.target
-        else:
-            edges = self.graph.in_edges(source_id, pattern.label)
-            for edge in edges:
-                stats.edges_expanded += 1
-                yield edge.source
-
-    def _variable_length_targets(self, source_id: VertexId, pattern: EdgePattern,
-                                 stats: ExecutionStats) -> list[VertexId]:
-        """Distinct vertices reachable within [min_hops, max_hops] hops.
-
-        Matches the endpoint semantics the paper's queries rely on: the
-        variable-length pattern of Listing 1 is used to reach the set of
-        downstream vertices, not to enumerate each individual path.
-        """
-        reached: set[VertexId] = set()
-        if pattern.min_hops == 0:
-            reached.add(source_id)
-        frontier = {source_id}
-        visited = {source_id}
-        for hop in range(1, pattern.max_hops + 1):
-            next_frontier: set[VertexId] = set()
-            for vertex_id in frontier:
-                for target in self._single_hop_targets(vertex_id, pattern, stats):
-                    if target == source_id and hop >= pattern.min_hops:
-                        # A cycle back to the start is a valid match even though
-                        # the start vertex is never re-expanded.
-                        reached.add(source_id)
-                    if target not in visited:
-                        next_frontier.add(target)
-            visited |= next_frontier
-            if hop >= pattern.min_hops:
-                reached |= next_frontier
-            frontier = next_frontier
-            if not frontier:
-                break
-        return sorted(reached, key=str)
-
-    # -------------------------------------------------------------- evaluation
-    def _node_matches(self, pattern: NodePattern, vertex: Vertex) -> bool:
-        if not pattern.matches_type(vertex.type):
-            return False
-        for key, expected in pattern.properties:
-            if vertex.get(key) != expected:
-                return False
-        return True
-
-    def _where_satisfied(self, conditions: Sequence[Condition], binding: Binding) -> bool:
-        for condition in conditions:
-            value = self._resolve_ref(condition.ref, binding)
-            if not condition.evaluate(value):
-                return False
-        return True
-
-    def _resolve_ref(self, reference: PropertyRef, binding: Binding) -> Any:
-        if reference.variable == "*":
-            return 1
-        if reference.variable not in binding:
-            raise QueryExecutionError(
-                f"variable {reference.variable!r} is not bound by the MATCH clause"
-            )
-        vertex = self.graph.vertex(binding[reference.variable])
-        if reference.property is None:
-            return vertex.id
-        return vertex.get(reference.property)
-
-    def _project(self, query: GraphQuery, bindings: list[Binding]) -> list[dict[str, Any]]:
-        items = query.returns
-        if not items:
-            # Bare MATCH: return the bindings themselves.
-            return [dict(binding) for binding in bindings]
-        if any(item.is_aggregate for item in items):
-            return self._project_aggregates(items, bindings)
-        rows = []
-        for binding in bindings:
-            row = {
-                item.output_name: self._resolve_ref(item.ref, binding)
-                for item in items
-            }
-            rows.append(row)
-        return rows
-
-    def _project_aggregates(self, items: Sequence[ReturnItem],
-                            bindings: list[Binding]) -> list[dict[str, Any]]:
-        """Cypher-style implicit grouping: non-aggregate items are the keys."""
-        key_items = [item for item in items if not item.is_aggregate]
-        aggregate_items = [item for item in items if item.is_aggregate]
-        groups: dict[tuple, list[Binding]] = {}
-        for binding in bindings:
-            key = tuple(self._resolve_ref(item.ref, binding) for item in key_items)
-            groups.setdefault(key, []).append(binding)
-        rows: list[dict[str, Any]] = []
-        for key, group in sorted(groups.items(), key=lambda kv: str(kv[0])):
-            row: dict[str, Any] = {
-                item.output_name: value for item, value in zip(key_items, key)
-            }
-            for item in aggregate_items:
-                row[item.output_name] = self._aggregate(item, group)
-            rows.append(row)
-        return rows
-
-    def _aggregate(self, item: ReturnItem, group: list[Binding]) -> Any:
-        values = [self._resolve_ref(item.ref, binding) for binding in group]
-        non_null = [v for v in values if v is not None]
-        if item.aggregate == "count":
-            return len(non_null)
-        if item.aggregate == "collect":
-            return non_null
-        if not non_null:
-            return None
-        if item.aggregate == "sum":
-            return sum(non_null)
-        if item.aggregate == "avg":
-            return sum(non_null) / len(non_null)
-        if item.aggregate == "min":
-            return min(non_null)
-        return max(non_null)
-
-    def _check_binding_budget(self, stats: ExecutionStats) -> None:
-        if self.max_bindings is not None and stats.total_work > self.max_bindings:
-            raise QueryExecutionError(
-                f"query exceeded the work budget of {self.max_bindings} operations"
-            )
+    # ---------------------------------------------------------------- internal
+    def _execute_interpreter(self, query: GraphQuery) -> ExecutionResult:
+        stats = ExecutionStats()
+        matcher = BacktrackingInterpreter(self.graph, max_work=self.max_work)
+        bindings = list(matcher.match_all(query, stats))
+        stats.bindings_produced = len(bindings)
+        rows = finalize_rows(self.graph, query, bindings)
+        return ExecutionResult(rows=rows, stats=stats)
 
 
-def _distinct_rows(rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
-    """Order-preserving row deduplication (values may be unhashable)."""
-    seen: list[dict[str, Any]] = []
-    for row in rows:
-        if row not in seen:
-            seen.append(row)
-    return seen
+def _distinct_rows(rows):
+    """Backwards-compatible alias of :func:`repro.query.projection.distinct_rows`."""
+    return distinct_rows(rows)
 
 
 def execute_query(graph: GraphLike, query: GraphQuery,
-                  max_bindings: int | None = None) -> ExecutionResult:
+                  max_work: int | None = None, engine: str = "planner",
+                  *, max_bindings: int | None = None) -> ExecutionResult:
     """Convenience wrapper: evaluate ``query`` against ``graph``."""
-    return QueryExecutor(graph, max_bindings=max_bindings).execute(query)
+    return QueryExecutor(graph, max_work=max_work, engine=engine,
+                         max_bindings=max_bindings).execute(query)

@@ -1,0 +1,189 @@
+"""The seed backtracking interpreter (reference query engine).
+
+This is the original one-binding-at-a-time evaluator of
+:class:`~repro.query.ast.GraphQuery` objects: matching proceeds path by path
+with recursive backtracking over shared variables, variable-length edge
+patterns (the ``-[r*0..8]->`` construct of Listing 1) are evaluated with a
+bounded breadth-first expansion, and WHERE predicates are checked only once a
+complete multi-path binding exists.
+
+The planned operator pipeline (:mod:`repro.query.plan`) replaced this engine
+as the default, but the interpreter is kept fully functional — selectable via
+``QueryExecutor(graph, engine="interpreter")`` — because it is the
+*differential oracle*: every planner change is validated by comparing row
+sets against this implementation (``tests/integration/test_differential_planner.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import QueryExecutionError
+from repro.graph.property_graph import Vertex, VertexId
+from repro.storage.base import GraphLike
+from repro.query.ast import (
+    Condition,
+    EdgePattern,
+    GraphQuery,
+    NodePattern,
+    PathPattern,
+)
+from repro.query.projection import Binding, conditions_satisfied
+from repro.query.stats import ExecutionStats
+from repro.query.traversal import bounded_reach
+
+
+class BacktrackingInterpreter:
+    """Recursive backtracking matcher over one graph (the seed semantics).
+
+    Args:
+        graph: Graph (or read-optimized store) to evaluate queries against.
+        max_work: Optional work budget — an upper bound on
+            ``vertices scanned + edges expanded`` (raises
+            :class:`QueryExecutionError` when exceeded), protecting
+            benchmarks from runaway cartesian products.
+    """
+
+    def __init__(self, graph: GraphLike, max_work: int | None = None) -> None:
+        self.graph = graph
+        self.max_work = max_work
+
+    # ------------------------------------------------------------------ public
+    def match_all(self, query: GraphQuery, stats: ExecutionStats) -> Iterator[Binding]:
+        """All complete pattern bindings of ``query``, WHERE already applied."""
+        paths = self._order_paths(query.match)
+        yield from self._match_paths(paths, 0, {}, query, stats)
+
+    # ---------------------------------------------------------------- matching
+    def _order_paths(self, paths: Sequence[PathPattern]) -> list[PathPattern]:
+        """Order path patterns so that each one shares a variable with the prefix
+        when possible (connected join order)."""
+        remaining = list(paths)
+        ordered: list[PathPattern] = []
+        bound: set[str] = set()
+        while remaining:
+            chosen_index = 0
+            for index, candidate in enumerate(remaining):
+                if bound and any(v in bound for v in candidate.variables()):
+                    chosen_index = index
+                    break
+            chosen = remaining.pop(chosen_index)
+            ordered.append(chosen)
+            bound.update(chosen.variables())
+        return ordered
+
+    def _match_paths(self, paths: list[PathPattern], index: int, binding: Binding,
+                     query: GraphQuery, stats: ExecutionStats) -> Iterator[Binding]:
+        if index == len(paths):
+            if conditions_satisfied(self.graph, query.where, binding):
+                yield dict(binding)
+            return
+        for extended in self._match_path(paths[index], binding, stats):
+            yield from self._match_paths(paths, index + 1, extended, query, stats)
+
+    def _match_path(self, path: PathPattern, binding: Binding,
+                    stats: ExecutionStats) -> Iterator[Binding]:
+        """Match one path pattern, extending an existing binding."""
+        yield from self._match_from_node(path, 0, binding, stats)
+
+    def _match_from_node(self, path: PathPattern, position: int, binding: Binding,
+                         stats: ExecutionStats) -> Iterator[Binding]:
+        node_pattern = path.nodes[position]
+        for candidate_binding in self._bind_node(node_pattern, binding, stats):
+            if position == len(path.edges):
+                yield candidate_binding
+            else:
+                yield from self._expand_edge(path, position, candidate_binding, stats)
+
+    def _bind_node(self, pattern: NodePattern, binding: Binding,
+                   stats: ExecutionStats) -> Iterator[Binding]:
+        """Bind a node pattern, respecting an existing binding for its variable."""
+        if pattern.variable in binding:
+            vertex_id = binding[pattern.variable]
+            vertex = self.graph.vertex(vertex_id)
+            if self._node_matches(pattern, vertex):
+                yield binding
+            return
+        for vertex in self.graph.vertices(pattern.label):
+            stats.vertices_scanned += 1
+            if self._node_matches(pattern, vertex):
+                extended = dict(binding)
+                extended[pattern.variable] = vertex.id
+                self._check_work_budget(stats)
+                yield extended
+
+    def _expand_edge(self, path: PathPattern, position: int, binding: Binding,
+                     stats: ExecutionStats) -> Iterator[Binding]:
+        """Expand the edge pattern at ``position`` from the bound source node."""
+        edge_pattern = path.edges[position]
+        source_variable = path.nodes[position].variable
+        target_pattern = path.nodes[position + 1]
+        source_id = binding[source_variable]
+
+        if edge_pattern.is_variable_length:
+            targets = self._variable_length_targets(source_id, edge_pattern, stats)
+        else:
+            targets = self._single_hop_targets(source_id, edge_pattern, stats)
+
+        for target_id in targets:
+            target_vertex = self.graph.vertex(target_id)
+            if not self._node_matches(target_pattern, target_vertex):
+                continue
+            if target_pattern.variable in binding:
+                if binding[target_pattern.variable] != target_id:
+                    continue
+                extended = binding
+            else:
+                extended = dict(binding)
+                extended[target_pattern.variable] = target_id
+            self._check_work_budget(stats)
+            yield from self._match_from_node_with_target(path, position + 1, extended, stats)
+
+    def _match_from_node_with_target(self, path: PathPattern, position: int,
+                                     binding: Binding,
+                                     stats: ExecutionStats) -> Iterator[Binding]:
+        """Continue matching after an edge expansion bound the node at ``position``."""
+        if position == len(path.edges):
+            yield binding
+        else:
+            yield from self._expand_edge(path, position, binding, stats)
+
+    def _single_hop_targets(self, source_id: VertexId, pattern: EdgePattern,
+                            stats: ExecutionStats) -> Iterator[VertexId]:
+        if pattern.direction == "out":
+            edges = self.graph.out_edges(source_id, pattern.label)
+            for edge in edges:
+                stats.edges_expanded += 1
+                yield edge.target
+        else:
+            edges = self.graph.in_edges(source_id, pattern.label)
+            for edge in edges:
+                stats.edges_expanded += 1
+                yield edge.source
+
+    def _variable_length_targets(self, source_id: VertexId, pattern: EdgePattern,
+                                 stats: ExecutionStats) -> list[VertexId]:
+        """Distinct vertices reachable within [min_hops, max_hops] hops.
+
+        Matches the endpoint semantics the paper's queries rely on: the
+        variable-length pattern of Listing 1 is used to reach the set of
+        downstream vertices, not to enumerate each individual path.
+        """
+        return bounded_reach(
+            lambda vertex_id: self._single_hop_targets(vertex_id, pattern, stats),
+            source_id, pattern.min_hops, pattern.max_hops)
+
+    # -------------------------------------------------------------- evaluation
+    def _node_matches(self, pattern: NodePattern, vertex: Vertex) -> bool:
+        if not pattern.matches_type(vertex.type):
+            return False
+        for key, expected in pattern.properties:
+            if vertex.get(key) != expected:
+                return False
+        return True
+
+    def _check_work_budget(self, stats: ExecutionStats) -> None:
+        if self.max_work is not None and stats.total_work > self.max_work:
+            raise QueryExecutionError(
+                f"query exceeded the work budget of {self.max_work} operations"
+            )

@@ -1,0 +1,49 @@
+"""Cost-based query planning and batched physical execution.
+
+The paper's architecture (Fig. 2) separates view selection/rewriting from the
+graph engine that physically evaluates queries (Neo4j, §II, §VII-A) — and
+that engine is itself a cost-based optimizer over graph statistics.  This
+subpackage reproduces that final stage for our executor:
+
+* :mod:`repro.query.plan.logical` — the logical plan: a linear pipeline of
+  scan / expand / var-expand / filter operators plus the output stages
+  (project / aggregate / distinct / limit), with EXPLAIN-style rendering;
+* :mod:`repro.query.plan.planner` — the planner: uses
+  :class:`~repro.graph.statistics.GraphStatistics` to choose scan order,
+  orient paths, and push WHERE predicates and node-property filters down
+  into the scans and expansions that bind their variables (§V-A's
+  degree-percentile cost proxy drives every choice);
+* :mod:`repro.query.plan.physical` — the physical executor: operators
+  process *batches* of bindings, variable-length expansion is set-based
+  (one frontier BFS per distinct source vertex), and neighbor access uses
+  the bulk list slices a :class:`~repro.storage.csr.CSRGraphStore` serves.
+"""
+
+from repro.query.plan.logical import (
+    AggregateOp,
+    DistinctOp,
+    ExpandOp,
+    FilterOp,
+    LimitOp,
+    LogicalPlan,
+    ProjectOp,
+    ScanOp,
+    VarExpandOp,
+)
+from repro.query.plan.planner import QueryPlanner, plan_query
+from repro.query.plan.physical import PhysicalExecutor
+
+__all__ = [
+    "AggregateOp",
+    "DistinctOp",
+    "ExpandOp",
+    "FilterOp",
+    "LimitOp",
+    "LogicalPlan",
+    "PhysicalExecutor",
+    "ProjectOp",
+    "QueryPlanner",
+    "ScanOp",
+    "VarExpandOp",
+    "plan_query",
+]

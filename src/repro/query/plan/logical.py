@@ -1,0 +1,193 @@
+"""Logical query plans: a linear operator pipeline over binding batches.
+
+A :class:`LogicalPlan` is the planner's output (and the unit Kaskade caches
+and costs when deciding base-vs-view execution, §V-C): an ordered sequence of
+streaming operators that grow/filter a batch of bindings, followed by the
+output stages that turn bindings into rows.  The shapes mirror the physical
+algebra of the graph engines the paper builds on (§II): label scan, (var-)
+expand, filter, then project/aggregate/distinct/limit.
+
+Pushdown lives in the plan shape itself: :class:`ScanOp` and
+:class:`ExpandOp`/:class:`VarExpandOp` carry the node-property pairs and the
+WHERE conditions whose variable they bind, so selective predicates are
+applied the moment a vertex is first touched instead of after a complete
+multi-path binding exists (the seed interpreter's behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.query.ast import Condition, EdgePattern, GraphQuery
+
+
+def _format_filters(properties: tuple[tuple[str, Any], ...],
+                    conditions: tuple[Condition, ...]) -> str:
+    parts = [f"{key}={value!r}" for key, value in properties]
+    parts += [str(condition) for condition in conditions]
+    return f" filter[{', '.join(parts)}]" if parts else ""
+
+
+@dataclass(frozen=True)
+class ScanOp:
+    """Bind ``variable`` by scanning vertices of ``label`` (pushdown applied).
+
+    When the variable is already bound by an upstream operator (a shared
+    variable across paths), the scan degenerates to a zero-cost verification
+    of the pattern against the bound vertex.
+    """
+
+    variable: str
+    label: str | None = None
+    properties: tuple[tuple[str, Any], ...] = ()
+    conditions: tuple[Condition, ...] = ()
+
+    def describe(self) -> str:
+        label = f":{self.label}" if self.label else ""
+        return (f"Scan({self.variable}{label})"
+                + _format_filters(self.properties, self.conditions))
+
+
+@dataclass(frozen=True)
+class ExpandOp:
+    """Expand one hop from ``source`` to bind ``target``.
+
+    ``edge`` keeps the traversal direction and label; ``target_label`` /
+    ``target_properties`` / ``conditions`` are the pushed-down filters on the
+    newly bound endpoint.
+    """
+
+    source: str
+    target: str
+    edge: EdgePattern
+    target_label: str | None = None
+    target_properties: tuple[tuple[str, Any], ...] = ()
+    conditions: tuple[Condition, ...] = ()
+
+    def describe(self) -> str:
+        arrow = str(self.edge)
+        label = f":{self.target_label}" if self.target_label else ""
+        return (f"Expand({self.source}){arrow}({self.target}{label})"
+                + _format_filters(self.target_properties, self.conditions))
+
+
+@dataclass(frozen=True)
+class VarExpandOp:
+    """Variable-length expansion (endpoint-set semantics, Listing 1's ``*0..8``).
+
+    Physically evaluated as one set-based frontier BFS per *distinct* source
+    vertex in the batch, so bindings sharing a source pay the traversal once.
+    """
+
+    source: str
+    target: str
+    edge: EdgePattern
+    target_label: str | None = None
+    target_properties: tuple[tuple[str, Any], ...] = ()
+    conditions: tuple[Condition, ...] = ()
+
+    def describe(self) -> str:
+        arrow = str(self.edge)
+        label = f":{self.target_label}" if self.target_label else ""
+        return (f"VarExpand({self.source}){arrow}({self.target}{label})"
+                + _format_filters(self.target_properties, self.conditions))
+
+
+@dataclass(frozen=True)
+class FilterOp:
+    """Residual WHERE conditions that could not be pushed into a bind site."""
+
+    conditions: tuple[Condition, ...]
+
+    def describe(self) -> str:
+        return "Filter(" + " AND ".join(str(c) for c in self.conditions) + ")"
+
+
+@dataclass(frozen=True)
+class ProjectOp:
+    """Plain RETURN projection."""
+
+    columns: tuple[str, ...]
+
+    def describe(self) -> str:
+        return "Project(" + ", ".join(self.columns) + ")"
+
+
+@dataclass(frozen=True)
+class AggregateOp:
+    """Implicit-grouping aggregation (non-aggregate items are the keys)."""
+
+    keys: tuple[str, ...]
+    aggregates: tuple[str, ...]
+
+    def describe(self) -> str:
+        keys = ", ".join(self.keys) if self.keys else "()"
+        return f"Aggregate(keys={keys}; {', '.join(self.aggregates)})"
+
+
+@dataclass(frozen=True)
+class DistinctOp:
+    """Row deduplication (RETURN DISTINCT)."""
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+@dataclass(frozen=True)
+class LimitOp:
+    """Row cap (LIMIT n)."""
+
+    count: int
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"
+
+
+#: Operators that produce/extend bindings (executed batch-at-a-time).
+StreamingOp = ScanOp | ExpandOp | VarExpandOp | FilterOp
+#: Operators that shape the final row set.
+OutputOp = ProjectOp | AggregateOp | DistinctOp | LimitOp
+PlanOp = StreamingOp | OutputOp
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """A planned query: operator pipeline + the planner's cost estimate.
+
+    ``estimated_cost`` is the statistics-derived traversal-work proxy
+    (comparable across graphs, like §V-A's evaluation-cost estimates); it is
+    what :meth:`Kaskade.execute` compares between the base query's plan and
+    each view rewrite's plan.
+    """
+
+    query: GraphQuery
+    ops: tuple[PlanOp, ...]
+    estimated_cost: float = 0.0
+    #: Per-op cumulative cost estimates, aligned with ``ops`` (streaming ops
+    #: only; output stages are costed at zero).  Kept for EXPLAIN rendering.
+    op_costs: tuple[float, ...] = ()
+
+    @property
+    def streaming_ops(self) -> tuple[StreamingOp, ...]:
+        return tuple(op for op in self.ops
+                     if isinstance(op, (ScanOp, ExpandOp, VarExpandOp, FilterOp)))
+
+    @property
+    def pushed_condition_count(self) -> int:
+        """How many WHERE conditions were pushed into scans/expansions."""
+        return sum(len(op.conditions) for op in self.ops
+                   if isinstance(op, (ScanOp, ExpandOp, VarExpandOp)))
+
+    def explain(self) -> str:
+        """EXPLAIN-style rendering: one operator per line, costs annotated."""
+        lines = [f"Plan(cost={self.estimated_cost:.1f})"
+                 + (f" for {self.query.name!r}" if self.query.name else "")]
+        costs = list(self.op_costs) + [0.0] * (len(self.ops) - len(self.op_costs))
+        for op, cost in zip(self.ops, costs):
+            annotation = f"  [~{cost:.1f}]" if cost else ""
+            lines.append(f"  -> {op.describe()}{annotation}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.explain()

@@ -1,0 +1,214 @@
+"""Batched physical operators evaluating a :class:`LogicalPlan`.
+
+Where the seed interpreter carries one binding at a time through a recursion,
+the physical executor pushes a **batch** of bindings through each operator:
+
+* scans enumerate a label's vertices once per batch and cross the survivors
+  with every pending binding;
+* expansions fetch each distinct source vertex's neighbor list once —
+  against a :class:`~repro.storage.csr.CSRGraphStore` this is the bulk
+  pre-sliced list the store caches, with no per-edge dictionary lookups —
+  and reuse it for every binding sharing that source;
+* variable-length expansions run one set-based frontier BFS per distinct
+  source (Listing 1's ``*0..8`` endpoint-set semantics), memoized across the
+  batch.
+
+Work counters record the traversal actually performed, so the batching and
+memoization show up as *less* ``ExecutionStats.total_work`` than the
+interpreter on the same query — the machine-independent speedup the planner
+benchmarks assert.  Result multisets are identical to the interpreter's by
+construction (parallel edges keep their multiplicity; variable-length
+reachability replicates the interpreter's visited-set semantics exactly).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import QueryExecutionError
+from repro.graph.property_graph import Vertex, VertexId
+from repro.query.ast import Condition, EdgePattern
+from repro.query.plan.logical import (
+    ExpandOp,
+    FilterOp,
+    LogicalPlan,
+    ScanOp,
+    VarExpandOp,
+)
+from repro.query.projection import Binding, conditions_satisfied, finalize_rows
+from repro.query.stats import ExecutionResult, ExecutionStats
+from repro.query.traversal import bounded_reach
+from repro.storage.base import GraphLike
+
+
+class PhysicalExecutor:
+    """Runs logical plans against one graph with a work budget.
+
+    Args:
+        graph: Graph (or read-optimized store) to evaluate against.
+        max_work: Optional work budget — an upper bound on
+            ``vertices scanned + edges expanded``; exceeding it raises
+            :class:`QueryExecutionError` (same semantics as the interpreter).
+    """
+
+    def __init__(self, graph: GraphLike, max_work: int | None = None) -> None:
+        self.graph = graph
+        self.max_work = max_work
+
+    # ------------------------------------------------------------------ public
+    def execute(self, plan: LogicalPlan) -> ExecutionResult:
+        """Evaluate a plan and return projected rows plus work counters."""
+        stats = ExecutionStats()
+        bindings = self.run_bindings(plan, stats)
+        stats.bindings_produced = len(bindings)
+        rows = finalize_rows(self.graph, plan.query, bindings)
+        return ExecutionResult(rows=rows, stats=stats, plan=plan)
+
+    def run_bindings(self, plan: LogicalPlan, stats: ExecutionStats) -> list[Binding]:
+        """Push the seed batch through every streaming operator."""
+        batch: list[Binding] = [{}]
+        for op in plan.streaming_ops:
+            if not batch:
+                break
+            if isinstance(op, ScanOp):
+                batch = self._scan(op, batch, stats)
+            elif isinstance(op, ExpandOp):
+                batch = self._expand(op, batch, stats)
+            elif isinstance(op, VarExpandOp):
+                batch = self._var_expand(op, batch, stats)
+            else:
+                batch = [binding for binding in batch
+                         if conditions_satisfied(self.graph, op.conditions, binding)]
+        return batch
+
+    # -------------------------------------------------------------- operators
+    def _scan(self, op: ScanOp, batch: list[Binding],
+              stats: ExecutionStats) -> list[Binding]:
+        out: list[Binding] = []
+        pending: list[Binding] = []
+        for binding in batch:
+            if op.variable in binding:
+                vertex = self.graph.vertex(binding[op.variable])
+                if self._vertex_ok(vertex, op.label, op.properties, op.conditions):
+                    out.append(binding)
+            else:
+                pending.append(binding)
+        if pending:
+            # One pass over the label's vertices serves the whole batch.
+            matching: list[VertexId] = []
+            for vertex in self.graph.vertices(op.label):
+                stats.vertices_scanned += 1
+                self._check_work_budget(stats)
+                if self._vertex_ok(vertex, op.label, op.properties, op.conditions):
+                    matching.append(vertex.id)
+            for binding in pending:
+                for vertex_id in matching:
+                    extended = dict(binding)
+                    extended[op.variable] = vertex_id
+                    out.append(extended)
+        return out
+
+    def _expand(self, op: ExpandOp, batch: list[Binding],
+                stats: ExecutionStats) -> list[Binding]:
+        # Matching targets per distinct source, with parallel-edge
+        # multiplicity preserved (each parallel edge contributes a binding).
+        target_cache: dict[VertexId, list[VertexId]] = {}
+        out: list[Binding] = []
+        for binding in batch:
+            source_id = self._bound_source(binding, op.source)
+            targets = target_cache.get(source_id)
+            if targets is None:
+                raw = self._neighbors(source_id, op.edge)
+                stats.edges_expanded += len(raw)
+                self._check_work_budget(stats)
+                targets = [
+                    target for target in raw
+                    if self._vertex_ok(self.graph.vertex(target), op.target_label,
+                                       op.target_properties, op.conditions)
+                ]
+                target_cache[source_id] = targets
+            out.extend(self._emit(binding, op.target, targets))
+        return out
+
+    def _var_expand(self, op: VarExpandOp, batch: list[Binding],
+                    stats: ExecutionStats) -> list[Binding]:
+        reach_cache: dict[VertexId, list[VertexId]] = {}
+        out: list[Binding] = []
+        for binding in batch:
+            source_id = self._bound_source(binding, op.source)
+            targets = reach_cache.get(source_id)
+            if targets is None:
+                reached = self._reachable(source_id, op.edge, stats)
+                targets = [
+                    target for target in reached
+                    if self._vertex_ok(self.graph.vertex(target), op.target_label,
+                                       op.target_properties, op.conditions)
+                ]
+                reach_cache[source_id] = targets
+            out.extend(self._emit(binding, op.target, targets))
+        return out
+
+    def _emit(self, binding: Binding, target_variable: str,
+              targets: list[VertexId]) -> list[Binding]:
+        if target_variable in binding:
+            bound = binding[target_variable]
+            return [binding] * sum(1 for target in targets if target == bound)
+        extended = []
+        for target in targets:
+            new_binding = dict(binding)
+            new_binding[target_variable] = target
+            extended.append(new_binding)
+        return extended
+
+    # ------------------------------------------------------------- traversal
+    def _neighbors(self, source_id: VertexId, edge: EdgePattern) -> list[VertexId]:
+        """Bulk neighbor ids for one hop (duplicates kept for parallel edges)."""
+        if edge.direction == "out":
+            return list(self.graph.successors(source_id, edge.label))
+        return list(self.graph.predecessors(source_id, edge.label))
+
+    def _reachable(self, source_id: VertexId, pattern: EdgePattern,
+                   stats: ExecutionStats) -> list[VertexId]:
+        """Distinct vertices reachable within [min_hops, max_hops] hops.
+
+        Set-based frontier expansion sharing the interpreter's exact
+        reachability semantics (:func:`~repro.query.traversal.bounded_reach`),
+        with bulk per-vertex neighbor fetches on the hot path.
+        """
+        def fetch(vertex_id: VertexId) -> list[VertexId]:
+            targets = self._neighbors(vertex_id, pattern)
+            stats.edges_expanded += len(targets)
+            self._check_work_budget(stats)
+            return targets
+
+        return bounded_reach(fetch, source_id, pattern.min_hops, pattern.max_hops)
+
+    # ------------------------------------------------------------- evaluation
+    def _vertex_ok(self, vertex: Vertex, label: str | None,
+                   properties: tuple[tuple[str, Any], ...],
+                   conditions: tuple[Condition, ...]) -> bool:
+        if label is not None and vertex.type != label:
+            return False
+        for key, expected in properties:
+            if vertex.get(key) != expected:
+                return False
+        for condition in conditions:
+            value = vertex.id if condition.ref.property is None else vertex.get(
+                condition.ref.property)
+            if not condition.evaluate(value):
+                return False
+        return True
+
+    def _bound_source(self, binding: Binding, variable: str) -> VertexId:
+        try:
+            return binding[variable]
+        except KeyError as exc:  # pragma: no cover - planner invariant
+            raise QueryExecutionError(
+                f"expansion source {variable!r} is not bound; malformed plan"
+            ) from exc
+
+    def _check_work_budget(self, stats: ExecutionStats) -> None:
+        if self.max_work is not None and stats.total_work > self.max_work:
+            raise QueryExecutionError(
+                f"query exceeded the work budget of {self.max_work} operations"
+            )

@@ -1,0 +1,317 @@
+"""The cost-based planner: GraphQuery -> LogicalPlan.
+
+The planner reproduces, for our executor, the role of the graph engine's
+cost-based optimizer that the paper leans on (§II, §V-A "Query evaluation
+cost"): it consults :class:`~repro.graph.statistics.GraphStatistics` — per-
+type vertex cardinalities and the α-th percentile out-degree — to decide
+
+* **scan order**: which path pattern to evaluate first and which connected
+  path to join next (smallest estimated frontier first, cartesian products
+  last);
+* **path orientation**: a path may be matched from either end (reversing
+  every edge direction is semantics-preserving); the planner starts from the
+  cheaper endpoint — in particular from a variable another path already
+  bound;
+* **pushdown**: every WHERE condition references a single variable, so it is
+  attached to the scan/expansion that first binds that variable, as are the
+  node-pattern property filters — selective predicates then prune the
+  binding batch the moment a vertex is touched rather than after a complete
+  multi-path binding exists (the seed interpreter's behaviour);
+* **cost**: the same saturating frontier-times-degree walk as
+  :class:`~repro.query.cost.QueryCostModel`, extended with per-condition
+  selectivities, accumulated per operator.  The resulting
+  ``LogicalPlan.estimated_cost`` is what Kaskade compares between the base
+  plan and each view rewrite's plan (§V-C).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graph.statistics import GraphStatistics, compute_statistics
+from repro.query.ast import Condition, GraphQuery, NodePattern, PathPattern
+from repro.query.plan.logical import (
+    AggregateOp,
+    DistinctOp,
+    ExpandOp,
+    FilterOp,
+    LimitOp,
+    LogicalPlan,
+    PlanOp,
+    ProjectOp,
+    ScanOp,
+    VarExpandOp,
+)
+from repro.storage.base import GraphLike
+
+#: Heuristic selectivities per comparison operator (fractions of a frontier
+#: surviving the predicate).  Coarse, but only relative order matters: an
+#: equality is assumed more selective than a range, a range more than "<>".
+_OPERATOR_SELECTIVITY = {
+    "=": 0.1,
+    "<>": 0.9,
+    "<": 0.33,
+    "<=": 0.33,
+    ">": 0.33,
+    ">=": 0.33,
+}
+
+#: Additive penalty factor for joining a path that shares no variable with
+#: the bound prefix (a cartesian product multiplies the binding batch).
+_CARTESIAN_PENALTY = 2
+
+
+def _reverse_path(path: PathPattern) -> PathPattern:
+    """The same path matched from its other end (every edge flipped)."""
+    return PathPattern(
+        nodes=tuple(reversed(path.nodes)),
+        edges=tuple(edge.reversed() for edge in reversed(path.edges)),
+    )
+
+
+class QueryPlanner:
+    """Plans :class:`GraphQuery` objects against one graph's statistics.
+
+    Args:
+        graph: Graph (or store) whose statistics drive the plan; may be
+            omitted when ``statistics`` is given directly.
+        statistics: Pre-computed statistics (e.g. Kaskade's cached per-view
+            models).  When both are omitted the planner falls back to
+            neutral estimates — plans are still valid, just not informed.
+        alpha: Out-degree percentile used as the per-hop branching factor
+            (§V-A uses the 90th).
+        min_branching: Lower bound on the branching factor so chains of hops
+            still accumulate cost on very sparse graphs.
+    """
+
+    def __init__(self, graph: GraphLike | None = None,
+                 statistics: GraphStatistics | None = None,
+                 alpha: float = 90.0, min_branching: float = 1.0) -> None:
+        if statistics is None and graph is not None:
+            statistics = compute_statistics(graph)
+        self.statistics = statistics
+        self.alpha = alpha
+        self.min_branching = min_branching
+
+    # ------------------------------------------------------------------ public
+    def plan(self, query: GraphQuery) -> LogicalPlan:
+        """Produce the operator pipeline and its cost estimate for ``query``."""
+        conditions_by_var: dict[str, list[Condition]] = {}
+        for condition in query.where:
+            conditions_by_var.setdefault(condition.ref.variable, []).append(condition)
+
+        ordered = self._order_and_orient(query.match, conditions_by_var)
+
+        ops: list[PlanOp] = []
+        op_costs: list[float] = []
+        total_cost = 0.0
+        bound: set[str] = set()
+        for oriented in ordered:
+            frontier = 1.0
+            start = oriented.nodes[0]
+            pushed = self._take_conditions(start.variable, bound, conditions_by_var)
+            ops.append(ScanOp(variable=start.variable, label=start.label,
+                              properties=start.properties, conditions=pushed))
+            cost, frontier = self._scan_estimate(start, pushed, start.variable in bound)
+            op_costs.append(cost)
+            total_cost += cost
+            bound.add(start.variable)
+
+            source_variable = start.variable
+            for edge, node in zip(oriented.edges, oriented.nodes[1:]):
+                pushed = self._take_conditions(node.variable, bound, conditions_by_var)
+                op_class = VarExpandOp if edge.is_variable_length else ExpandOp
+                ops.append(op_class(source=source_variable, target=node.variable,
+                                    edge=edge, target_label=node.label,
+                                    target_properties=node.properties,
+                                    conditions=pushed))
+                cost, frontier = self._expand_estimate(edge, node, pushed, frontier,
+                                                       node.variable in bound)
+                op_costs.append(cost)
+                total_cost += cost
+                bound.add(node.variable)
+                source_variable = node.variable
+
+        # Conditions whose variable no operator binds (only reachable by
+        # constructing an invalid query around the AST validation) stay in a
+        # residual filter, which surfaces the same QueryExecutionError the
+        # interpreter raises.
+        residual = tuple(c for conditions in conditions_by_var.values()
+                         for c in conditions)
+        if residual:
+            ops.append(FilterOp(conditions=residual))
+            op_costs.append(0.0)
+
+        ops.extend(self._output_ops(query))
+        return LogicalPlan(query=query, ops=tuple(ops),
+                           estimated_cost=total_cost, op_costs=tuple(op_costs))
+
+    # ----------------------------------------------------- ordering/orientation
+    def _order_and_orient(self, paths: tuple[PathPattern, ...],
+                          conditions_by_var: dict[str, list[Condition]]
+                          ) -> list[PathPattern]:
+        """Greedy cost-ordered join order, each path in its cheaper orientation."""
+        remaining = list(paths)
+        ordered: list[PathPattern] = []
+        bound: set[str] = set()
+        while remaining:
+            best_index = 0
+            best_path = remaining[0]
+            best_key: tuple[int, float] | None = None
+            for index, path in enumerate(remaining):
+                # Reversal is considered only for fixed-length paths: the
+                # bounded-BFS endpoint semantics of variable-length patterns
+                # (specifically the cycle-back-to-start case) are not
+                # symmetric under direction flips, and differential equality
+                # with the interpreter is non-negotiable.
+                orientations = (path,) if any(
+                    edge.is_variable_length for edge in path.edges
+                ) else (path, _reverse_path(path))
+                for oriented in orientations:
+                    connected = (not bound) or bool(set(oriented.variables()) & bound)
+                    cost = self._path_estimate(oriented, bound, conditions_by_var)
+                    key = (0 if connected else _CARTESIAN_PENALTY, cost)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best_index = index
+                        best_path = oriented
+            remaining.pop(best_index)
+            ordered.append(best_path)
+            bound.update(best_path.variables())
+        return ordered
+
+    def _path_estimate(self, path: PathPattern, bound: set[str],
+                       conditions_by_var: dict[str, list[Condition]]) -> float:
+        """Estimated traversal work of one oriented path given bound variables."""
+        start = path.nodes[0]
+        start_conditions = () if start.variable in bound else tuple(
+            conditions_by_var.get(start.variable, ()))
+        cost, frontier = self._scan_estimate(start, start_conditions,
+                                             start.variable in bound)
+        seen = bound | {start.variable}
+        for edge, node in zip(path.edges, path.nodes[1:]):
+            node_conditions = () if node.variable in seen else tuple(
+                conditions_by_var.get(node.variable, ()))
+            hop_cost, frontier = self._expand_estimate(
+                edge, node, node_conditions, frontier, node.variable in seen)
+            cost += hop_cost
+            seen.add(node.variable)
+        return cost
+
+    # ------------------------------------------------------------- estimation
+    def _total_vertices(self) -> float:
+        if self.statistics is None:
+            return 1.0
+        return float(max(self.statistics.total_vertices, 1))
+
+    def _total_edges(self) -> float:
+        if self.statistics is None:
+            return 1.0
+        return float(max(self.statistics.total_edges, 1))
+
+    def _cardinality(self, label: str | None) -> float:
+        if self.statistics is None:
+            return 1.0
+        if label is None:
+            return float(max(self.statistics.total_vertices, 1))
+        return float(max(self.statistics.vertex_count(label), 1))
+
+    def _branching(self, source_label: str | None) -> float:
+        if self.statistics is None:
+            return self.min_branching
+        degree = self.statistics.degree_at(self.alpha, source_label)
+        if not degree:
+            degree = self.statistics.degree_at(self.alpha)
+        return max(degree, self.min_branching)
+
+    def _filter_selectivity(self, properties: tuple[tuple[str, Any], ...],
+                            conditions: tuple[Condition, ...]) -> float:
+        selectivity = 1.0
+        for _ in properties:
+            selectivity *= _OPERATOR_SELECTIVITY["="]
+        for condition in conditions:
+            selectivity *= _OPERATOR_SELECTIVITY.get(condition.operator, 1.0)
+        return selectivity
+
+    def _label_selectivity(self, label: str | None) -> float:
+        if self.statistics is None or label is None:
+            return 1.0
+        total = max(self.statistics.total_vertices, 1)
+        count = self.statistics.vertex_count(label)
+        return count / total if total else 1.0
+
+    def _scan_estimate(self, node: NodePattern, conditions: tuple[Condition, ...],
+                       already_bound: bool) -> tuple[float, float]:
+        """(cost, resulting frontier) of binding a path's start node."""
+        if already_bound:
+            # Verification of an existing binding: no scan work, frontier is
+            # whatever the upstream pipeline carries (normalized to 1 here —
+            # path estimates are per-seed-binding).
+            return 0.0, 1.0
+        cardinality = self._cardinality(node.label)
+        frontier = max(cardinality * self._filter_selectivity(node.properties,
+                                                              conditions), 1.0)
+        return cardinality, frontier
+
+    def _expand_estimate(self, edge, node: NodePattern,
+                         conditions: tuple[Condition, ...], frontier: float,
+                         target_bound: bool) -> tuple[float, float]:
+        """(cost, resulting frontier) of one expand operator.
+
+        Mirrors :class:`~repro.query.cost.QueryCostModel`'s saturating walk:
+        each hop costs ``frontier x branching`` but never more than the total
+        edge count, and the frontier saturates at the vertex count.
+        Variable-length patterns pay one such expansion per hop level.
+        """
+        total_vertices = self._total_vertices()
+        total_edges = self._total_edges()
+        degree = self._branching(None)
+        hops = edge.max_hops if edge.is_variable_length else 1
+        cost = 0.0
+        for _ in range(hops):
+            hop_cost = min(frontier * degree, total_edges)
+            hop_cost = max(hop_cost, self.min_branching)
+            cost += hop_cost
+            frontier = min(hop_cost, total_vertices)
+        if target_bound:
+            # The endpoint is already fixed: only expansions landing on that
+            # exact vertex survive.
+            frontier = max(frontier / max(self._cardinality(node.label), 1.0), 1.0)
+        else:
+            frontier *= self._label_selectivity(node.label)
+            frontier *= self._filter_selectivity(node.properties, conditions)
+            frontier = max(frontier, 1.0)
+        return cost, frontier
+
+    # ----------------------------------------------------------------- helpers
+    def _take_conditions(self, variable: str, bound: set[str],
+                         conditions_by_var: dict[str, list[Condition]]
+                         ) -> tuple[Condition, ...]:
+        """Pop the WHERE conditions to push into the op first binding ``variable``."""
+        if variable in bound:
+            return ()
+        return tuple(conditions_by_var.pop(variable, ()))
+
+    def _output_ops(self, query: GraphQuery) -> list[PlanOp]:
+        ops: list[PlanOp] = []
+        if query.returns:
+            if any(item.is_aggregate for item in query.returns):
+                ops.append(AggregateOp(
+                    keys=tuple(item.output_name for item in query.returns
+                               if not item.is_aggregate),
+                    aggregates=tuple(str(item) for item in query.returns
+                                     if item.is_aggregate),
+                ))
+            else:
+                ops.append(ProjectOp(columns=tuple(
+                    item.output_name for item in query.returns)))
+        if query.distinct:
+            ops.append(DistinctOp())
+        if query.limit is not None:
+            ops.append(LimitOp(count=query.limit))
+        return ops
+
+
+def plan_query(graph: GraphLike, query: GraphQuery, alpha: float = 90.0) -> LogicalPlan:
+    """Convenience wrapper: plan ``query`` against ``graph``'s statistics."""
+    return QueryPlanner(graph, alpha=alpha).plan(query)

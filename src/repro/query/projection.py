@@ -1,0 +1,155 @@
+"""Shared row construction: projection, aggregation, DISTINCT, LIMIT.
+
+Both query engines — the seed backtracking interpreter
+(:mod:`repro.query.interpreter`) and the planned operator pipeline
+(:mod:`repro.query.plan.physical`) — produce the same intermediate shape, a
+list of pattern bindings (variable -> vertex id), and must turn it into
+result rows with identical semantics.  Keeping the RETURN-clause machinery in
+one module is what makes the two engines differentially comparable: any
+projection/aggregation behaviour exists exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.errors import QueryExecutionError
+from repro.graph.property_graph import VertexId
+from repro.query.ast import Condition, GraphQuery, PropertyRef, ReturnItem
+from repro.storage.base import GraphLike
+
+Binding = dict[str, VertexId]
+
+
+def resolve_ref(graph: GraphLike, reference: PropertyRef, binding: Mapping[str, VertexId]) -> Any:
+    """Value of ``variable``/``variable.property`` under one binding.
+
+    A bare variable resolves to the bound vertex id; ``*`` (as in
+    ``count(*)``) resolves to the constant 1 so every binding contributes.
+    """
+    if reference.variable == "*":
+        return 1
+    if reference.variable not in binding:
+        raise QueryExecutionError(
+            f"variable {reference.variable!r} is not bound by the MATCH clause"
+        )
+    vertex = graph.vertex(binding[reference.variable])
+    if reference.property is None:
+        return vertex.id
+    return vertex.get(reference.property)
+
+
+def conditions_satisfied(graph: GraphLike, conditions: Sequence[Condition],
+                         binding: Mapping[str, VertexId]) -> bool:
+    """Whether a binding satisfies a conjunction of WHERE conditions."""
+    for condition in conditions:
+        value = resolve_ref(graph, condition.ref, binding)
+        if not condition.evaluate(value):
+            return False
+    return True
+
+
+def project_rows(graph: GraphLike, query: GraphQuery,
+                 bindings: list[Binding]) -> list[dict[str, Any]]:
+    """Apply the RETURN clause (plain projection or implicit grouping)."""
+    items = query.returns
+    if not items:
+        # Bare MATCH: return the bindings themselves.
+        return [dict(binding) for binding in bindings]
+    if any(item.is_aggregate for item in items):
+        return project_aggregates(graph, items, bindings)
+    rows = []
+    for binding in bindings:
+        row = {
+            item.output_name: resolve_ref(graph, item.ref, binding)
+            for item in items
+        }
+        rows.append(row)
+    return rows
+
+
+def project_aggregates(graph: GraphLike, items: Sequence[ReturnItem],
+                       bindings: list[Binding]) -> list[dict[str, Any]]:
+    """Cypher-style implicit grouping: non-aggregate items are the keys.
+
+    Groups are keyed on resolved values directly; unhashable key values (e.g.
+    a list-valued property) fall back to keying on their ``repr``.  Output
+    rows are ordered by the stringified key, independent of binding order, so
+    both engines produce identical aggregate row sequences.
+    """
+    key_items = [item for item in items if not item.is_aggregate]
+    aggregate_items = [item for item in items if item.is_aggregate]
+    groups: dict[tuple, tuple[tuple, list[Binding]]] = {}
+    for binding in bindings:
+        key = tuple(resolve_ref(graph, item.ref, binding) for item in key_items)
+        try:
+            group_key = key
+            hash(group_key)
+        except TypeError:
+            group_key = tuple(repr(value) for value in key)
+        groups.setdefault(group_key, (key, []))[1].append(binding)
+    rows: list[dict[str, Any]] = []
+    for key, group in sorted(groups.values(), key=lambda kg: str(kg[0])):
+        row: dict[str, Any] = {
+            item.output_name: value for item, value in zip(key_items, key)
+        }
+        for item in aggregate_items:
+            row[item.output_name] = aggregate_group(graph, item, group)
+        rows.append(row)
+    return rows
+
+
+def aggregate_group(graph: GraphLike, item: ReturnItem, group: list[Binding]) -> Any:
+    """One aggregate value over a group of bindings (NULLs are skipped)."""
+    values = [resolve_ref(graph, item.ref, binding) for binding in group]
+    non_null = [v for v in values if v is not None]
+    if item.aggregate == "count":
+        return len(non_null)
+    if item.aggregate == "collect":
+        return non_null
+    if not non_null:
+        return None
+    if item.aggregate == "sum":
+        return sum(non_null)
+    if item.aggregate == "avg":
+        return sum(non_null) / len(non_null)
+    if item.aggregate == "min":
+        return min(non_null)
+    return max(non_null)
+
+
+def distinct_rows(rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Order-preserving row deduplication.
+
+    Rows whose values are all hashable are deduplicated through a set of
+    ``(key, value)`` tuples — O(1) per row.  A row containing an unhashable
+    value (e.g. a ``collect(...)`` list) degrades to a linear scan over the
+    previously seen unhashable rows only, so mixed result sets stay fast.
+    """
+    seen_keys: set[tuple] = set()
+    seen_unhashable: list[dict[str, Any]] = []
+    result: list[dict[str, Any]] = []
+    for row in rows:
+        try:
+            key = tuple(sorted((name, value) for name, value in row.items()))
+            hash(key)
+        except TypeError:
+            if row not in seen_unhashable:
+                seen_unhashable.append(row)
+                result.append(row)
+            continue
+        if key not in seen_keys:
+            seen_keys.add(key)
+            result.append(row)
+    return result
+
+
+def finalize_rows(graph: GraphLike, query: GraphQuery,
+                  bindings: list[Binding]) -> list[dict[str, Any]]:
+    """Bindings -> rows: projection, then DISTINCT, then LIMIT."""
+    rows = project_rows(graph, query, bindings)
+    if query.distinct:
+        rows = distinct_rows(rows)
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows

@@ -1,0 +1,58 @@
+"""Work counters and result container shared by both query engines.
+
+The counters are the machine-independent signal the benchmarks report next to
+wall-clock time (§VII): connector views — and, since the planner refactor,
+predicate pushdown and planned join orders — must reduce *traversal work*,
+not just seconds on one machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (plan -> stats)
+    from repro.query.plan.logical import LogicalPlan
+
+
+@dataclass
+class ExecutionStats:
+    """Work counters accumulated while evaluating a query."""
+
+    vertices_scanned: int = 0
+    edges_expanded: int = 0
+    bindings_produced: int = 0
+
+    @property
+    def total_work(self) -> int:
+        """A single scalar summarizing traversal work (vertices + edges)."""
+        return self.vertices_scanned + self.edges_expanded
+
+
+@dataclass
+class ExecutionResult:
+    """Rows produced by a query plus the work counters.
+
+    When the query ran through the planned pipeline, ``plan`` carries the
+    executed :class:`~repro.query.plan.logical.LogicalPlan`; its
+    :meth:`~repro.query.plan.logical.LogicalPlan.explain` renders the
+    EXPLAIN-style text.  Interpreter runs leave it ``None``.
+    """
+
+    rows: list[dict[str, Any]]
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+    plan: "LogicalPlan | None" = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.rows)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one output column."""
+        return [row.get(name) for row in self.rows]
+
+    def explain(self) -> str:
+        """Human-readable plan text ('interpreter' when no plan was used)."""
+        return self.plan.explain() if self.plan is not None else "engine=interpreter"

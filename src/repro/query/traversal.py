@@ -1,0 +1,51 @@
+"""The one bounded-reachability BFS both query engines share.
+
+Variable-length edge patterns (Listing 1's ``-[r*0..8]->``) have endpoint-set
+semantics with two load-bearing corners — shortest-distance visited-set
+pruning and the cycle-back-to-start special case.  The differential oracle
+(planner rows == interpreter rows) is only enforceable if that algorithm
+exists exactly once, parameterized over how neighbors are fetched: the
+interpreter streams per-edge-counted targets, the physical executor fetches
+bulk per-vertex lists and counts them wholesale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.graph.property_graph import VertexId
+
+
+def bounded_reach(fetch: Callable[[VertexId], Iterable[VertexId]],
+                  source_id: VertexId, min_hops: int,
+                  max_hops: int) -> list[VertexId]:
+    """Distinct vertices reachable within ``[min_hops, max_hops]`` hops.
+
+    ``fetch(vertex_id)`` yields one-hop neighbor ids (the caller accounts for
+    work and budget inside it).  A vertex enters the result at its shortest
+    distance from the source only; the source itself is included when
+    ``min_hops == 0`` or when a cycle leads back to it within bounds — it is
+    never re-expanded.  Returned sorted by ``str`` for deterministic output.
+    """
+    reached: set[VertexId] = set()
+    if min_hops == 0:
+        reached.add(source_id)
+    frontier = {source_id}
+    visited = {source_id}
+    for hop in range(1, max_hops + 1):
+        next_frontier: set[VertexId] = set()
+        for vertex_id in frontier:
+            for target in fetch(vertex_id):
+                if target == source_id and hop >= min_hops:
+                    # A cycle back to the start is a valid match even though
+                    # the start vertex is never re-expanded.
+                    reached.add(source_id)
+                if target not in visited:
+                    next_frontier.add(target)
+        visited |= next_frontier
+        if hop >= min_hops:
+            reached |= next_frontier
+        frontier = next_frontier
+        if not frontier:
+            break
+    return sorted(reached, key=str)

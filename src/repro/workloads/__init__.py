@@ -9,13 +9,16 @@ from repro.workloads.queries import (
     workload_for_dataset,
 )
 from repro.workloads.runner import (
+    PatternQueryRecord,
     PreparedDataset,
     QueryRuntime,
     StreamingBatchRecord,
     StreamingRunResult,
     WorkloadRunResult,
     generate_edge_mutations,
+    pattern_queries_for_dataset,
     prepare_dataset,
+    run_pattern_workload,
     run_query,
     run_streaming_workload,
     run_workload,
@@ -25,6 +28,7 @@ __all__ = [
     "BLAST_RADIUS_HOPS",
     "LABEL_PROPAGATION_PASSES",
     "LINEAGE_HOPS",
+    "PatternQueryRecord",
     "PreparedDataset",
     "QueryRuntime",
     "StreamingBatchRecord",
@@ -33,7 +37,9 @@ __all__ = [
     "WorkloadQuery",
     "build_workload",
     "generate_edge_mutations",
+    "pattern_queries_for_dataset",
     "prepare_dataset",
+    "run_pattern_workload",
     "run_query",
     "run_streaming_workload",
     "run_workload",

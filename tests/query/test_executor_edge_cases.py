@@ -1,0 +1,200 @@
+"""Executor edge cases pinned before/during the planner refactor.
+
+Every test runs against BOTH engines (the seed backtracking interpreter and
+the planned operator pipeline) and asserts identical row multisets — these
+are the corners where the two could plausibly diverge: zero-hop
+variable-length patterns, cycles back to the start vertex, variables shared
+across paths, NULL handling in aggregate grouping, and parallel-edge
+multiplicity.
+"""
+
+import pytest
+
+from repro.graph import PropertyGraph
+from repro.query import execute_query, parse_query
+
+ENGINES = ("interpreter", "planner")
+
+
+def rows_multiset(result):
+    """Canonical order-independent view of a result's rows."""
+    return sorted(
+        tuple(sorted((k, str(v)) for k, v in row.items())) for row in result.rows
+    )
+
+
+def both(graph, text):
+    query = parse_query(text)
+    return [execute_query(graph, query, engine=engine) for engine in ENGINES]
+
+
+def assert_engines_agree(graph, text):
+    interpreted, planned = both(graph, text)
+    assert rows_multiset(interpreted) == rows_multiset(planned), text
+    return interpreted, planned
+
+
+@pytest.fixture
+def cyclic() -> PropertyGraph:
+    """A 3-cycle with a chord and a 2-cycle, plus an isolated vertex."""
+    g = PropertyGraph(name="cyclic")
+    for v in ("a", "b", "c", "d", "iso"):
+        g.add_vertex(v, "V")
+    g.add_edge("a", "b", "L")
+    g.add_edge("b", "c", "L")
+    g.add_edge("c", "a", "L")  # 3-cycle a->b->c->a
+    g.add_edge("a", "c", "L")  # chord: 2-path a->c
+    g.add_edge("c", "d", "L")
+    g.add_edge("d", "c", "L")  # 2-cycle c<->d
+    return g
+
+
+@pytest.fixture
+def lineage() -> PropertyGraph:
+    g = PropertyGraph(name="lineage")
+    g.add_vertex("j1", "Job", cpu=10.0)
+    g.add_vertex("j2", "Job", cpu=20.0)
+    g.add_vertex("j3", "Job")          # cpu missing -> NULL in aggregates
+    g.add_vertex("f1", "File", size=100)
+    g.add_vertex("f2", "File")          # size missing
+    g.add_edge("j1", "f1", "WRITES_TO")
+    g.add_edge("j1", "f1", "WRITES_TO")  # parallel edge
+    g.add_edge("j2", "f1", "WRITES_TO")
+    g.add_edge("j2", "f2", "WRITES_TO")
+    g.add_edge("j3", "f2", "WRITES_TO")
+    g.add_edge("f1", "j2", "IS_READ_BY")
+    g.add_edge("f2", "j3", "IS_READ_BY")
+    return g
+
+
+class TestZeroHopPatterns:
+    def test_zero_hop_includes_every_start(self, cyclic):
+        interpreted, _ = assert_engines_agree(
+            cyclic, "MATCH (x:V)-[*0..0]->(y:V) RETURN x, y")
+        # *0..0 binds y = x for every vertex, including the isolated one.
+        pairs = {(r["x"], r["y"]) for r in interpreted.rows}
+        assert pairs == {(v, v) for v in ("a", "b", "c", "d", "iso")}
+
+    def test_zero_hop_respects_target_label(self, lineage):
+        interpreted, _ = assert_engines_agree(
+            lineage, "MATCH (x:Job)-[*0..2]->(y:File) RETURN x, y")
+        # The zero-hop candidate (x itself) is a Job, so it never matches
+        # the :File target pattern.
+        assert all(r["x"] != r["y"] for r in interpreted.rows)
+
+    def test_zero_hop_with_shared_endpoint_variable(self, cyclic):
+        interpreted, _ = assert_engines_agree(
+            cyclic, "MATCH (x:V)-[r*0..2]->(x) RETURN x")
+        # x reaches itself in 0 hops always; cycles add nothing new here.
+        assert set(r["x"] for r in interpreted.rows) == {"a", "b", "c", "d", "iso"}
+
+
+class TestCyclesBackToStart:
+    def test_cycle_reaches_start_within_bounds(self, cyclic):
+        interpreted, _ = assert_engines_agree(
+            cyclic, "MATCH (x:V)-[*3..3]->(y:V) WHERE y.nonexistent <> 0 RETURN x, y")
+        assert interpreted.rows == []  # NULL never satisfies a condition
+
+    def test_cycle_binds_start_as_target(self, cyclic):
+        interpreted, _ = assert_engines_agree(
+            cyclic, "MATCH (x:V)-[*2..3]->(x) RETURN x")
+        # a,b,c close the 3-cycle; c,d close the 2-cycle.
+        assert {r["x"] for r in interpreted.rows} == {"a", "b", "c", "d"}
+
+    def test_min_hops_excludes_short_cycles(self, cyclic):
+        assert_engines_agree(cyclic, "MATCH (x:V)-[*3..4]->(x) RETURN x")
+
+    def test_single_hop_cycle_pair(self, cyclic):
+        interpreted, _ = assert_engines_agree(
+            cyclic, "MATCH (x:V)-[:L]->(y:V), (y)-[:L]->(x) RETURN x, y")
+        # c<->d is the explicit 2-cycle; a<->c arises from the chord a->c
+        # plus the cycle-closing edge c->a.
+        assert {(r["x"], r["y"]) for r in interpreted.rows} == {
+            ("c", "d"), ("d", "c"), ("a", "c"), ("c", "a")}
+
+
+class TestSharedVariablesAcrossPaths:
+    def test_diamond_join(self, lineage):
+        interpreted, _ = assert_engines_agree(
+            lineage,
+            "MATCH (a:Job)-[:WRITES_TO]->(f:File), (b:Job)-[:WRITES_TO]->(f) "
+            "RETURN a, b, f")
+        pairs = {(r["a"], r["b"], r["f"]) for r in interpreted.rows}
+        assert ("j1", "j2", "f1") in pairs
+        assert ("j2", "j3", "f2") in pairs
+
+    def test_three_paths_sharing_middle(self, lineage):
+        assert_engines_agree(
+            lineage,
+            "MATCH (a:Job)-[:WRITES_TO]->(f:File), (f)-[:IS_READ_BY]->(b:Job), "
+            "(b)-[:WRITES_TO]->(g:File) RETURN a, b, g")
+
+    def test_shared_variable_with_conflicting_labels(self, lineage):
+        # x is declared :Job in one path and :File in the other -> no rows.
+        for engine in ENGINES:
+            result = execute_query(lineage, parse_query(
+                "MATCH (x:Job)-[:WRITES_TO]->(f:File), (j:Job)-[:WRITES_TO]->(x) "
+                "RETURN x"), engine=engine)
+            assert result.rows == []
+
+    def test_variable_length_between_bound_endpoints(self, lineage):
+        assert_engines_agree(
+            lineage,
+            "MATCH (a:Job)-[:WRITES_TO]->(f:File), (a)-[*1..3]->(g:File) "
+            "RETURN a, f, g")
+
+
+class TestAggregateNulls:
+    def test_aggregates_skip_null_values(self, lineage):
+        interpreted, planned = assert_engines_agree(
+            lineage,
+            "MATCH (j:Job)-[:WRITES_TO]->(f:File) "
+            "RETURN j, count(f.size) AS n, sum(f.size) AS total")
+        by_job = {r["j"]: r for r in interpreted.rows}
+        # j2 writes f1 (size 100) and f2 (NULL): the NULL is skipped.
+        assert by_job["j2"]["n"] == 1
+        assert by_job["j2"]["total"] == 100
+        # j3 writes only f2 (NULL size): count 0, sum NULL.
+        assert by_job["j3"]["n"] == 0
+        assert by_job["j3"]["total"] is None
+
+    def test_null_grouping_key_forms_its_own_group(self, lineage):
+        interpreted, _ = assert_engines_agree(
+            lineage,
+            "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j.cpu AS cpu, count(f) AS n")
+        groups = {r["cpu"]: r["n"] for r in interpreted.rows}
+        assert groups[None] == 1      # j3's single write
+        assert groups[10.0] == 2      # j1's parallel edges both count
+
+    def test_avg_min_max_with_all_nulls(self, lineage):
+        interpreted, _ = assert_engines_agree(
+            lineage,
+            "MATCH (j:Job)-[:WRITES_TO]->(f:File {size: 100}) "
+            "RETURN j, avg(j.missing) AS a, min(j.missing) AS lo, max(j.missing) AS hi")
+        assert all(r["a"] is None and r["lo"] is None and r["hi"] is None
+                   for r in interpreted.rows)
+
+
+class TestMultiplicityAndLimits:
+    def test_parallel_edges_duplicate_rows(self, lineage):
+        interpreted, planned = assert_engines_agree(
+            lineage, "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f")
+        rows = [tuple(sorted(r.items())) for r in interpreted.rows]
+        assert rows.count((("f", "f1"), ("j", "j1"))) == 2
+
+    def test_distinct_collapses_parallel_edges(self, lineage):
+        interpreted, _ = assert_engines_agree(
+            lineage, "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN DISTINCT j, f")
+        rows = [tuple(sorted(r.items())) for r in interpreted.rows]
+        assert rows.count((("f", "f1"), ("j", "j1"))) == 1
+
+    def test_limit_row_counts_agree(self, lineage):
+        query = parse_query("MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j LIMIT 2")
+        for engine in ENGINES:
+            assert len(execute_query(lineage, query, engine=engine)) == 2
+
+    def test_collect_rows_distinct_with_unhashable_values(self, lineage):
+        assert_engines_agree(
+            lineage,
+            "MATCH (j:Job)-[:WRITES_TO]->(f:File) "
+            "RETURN DISTINCT j, collect(f) AS files")
