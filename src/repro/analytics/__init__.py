@@ -1,10 +1,18 @@
-"""Graph analytics behind the Q1–Q8 evaluation workload (Table IV)."""
+"""Graph analytics behind the Q1–Q8 evaluation workload (Table IV).
 
+Every traversal/community/path function transparently routes to the
+index-space CSR kernels (:mod:`repro.analytics.kernels`) when handed a
+:class:`~repro.storage.csr.CSRGraphStore` — or a dict graph large enough to
+auto-freeze — and otherwise runs the dict-store reference implementation.
+"""
+
+from repro.analytics import kernels
 from repro.analytics.traversal import (
     BlastRadiusEntry,
     ancestors,
     blast_radius,
     blast_radius_by_pipeline,
+    bulk_k_hop_counts,
     descendants,
     k_hop_neighborhood,
 )
@@ -27,11 +35,13 @@ __all__ = [
     "ancestors",
     "blast_radius",
     "blast_radius_by_pipeline",
+    "bulk_k_hop_counts",
     "communities",
     "community_subgraph",
     "descendants",
     "edge_count",
     "k_hop_neighborhood",
+    "kernels",
     "label_propagation",
     "largest_community",
     "path_lengths",

@@ -12,11 +12,12 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro.analytics import kernels
 from repro.graph.property_graph import PropertyGraph, VertexId
 from repro.storage.base import GraphLike
 
 
-def label_propagation(graph: GraphLike, passes: int = 25, seed: int = 0,
+def label_propagation(graph: GraphLike, passes: int = 25,
                       write_property: str | None = "community"
                       ) -> dict[VertexId, VertexId]:
     """Synchronous label propagation for a fixed number of passes (Q7).
@@ -24,14 +25,19 @@ def label_propagation(graph: GraphLike, passes: int = 25, seed: int = 0,
     Every vertex starts in its own community (labelled by its own id).  In
     each pass, a vertex adopts the most frequent label among its undirected
     neighbours (ties broken deterministically by label string order, so runs
-    are reproducible).  After ``passes`` iterations (or earlier convergence),
-    the labels are optionally written back as a vertex property, mirroring the
-    update-style query Q7.
+    are reproducible — no RNG is involved anywhere).  After ``passes``
+    iterations (or earlier convergence), the labels are optionally written
+    back as a vertex property, mirroring the update-style query Q7.
+
+    On a CSR store the passes run as an index-space kernel
+    (:func:`repro.analytics.kernels.label_propagation`); the dict-store
+    reference below precomputes the string tie-break order once and tracks
+    the running (count, rank) winner per vertex instead of building a
+    ``Counter`` and re-sorting ties every pass.
 
     Args:
         graph: Input graph (labels propagate over undirected adjacency).
         passes: Number of propagation passes (the paper uses 25).
-        seed: Unused except to emphasize determinism; kept for API symmetry.
         write_property: Vertex property to store the final label under
             (``None`` skips the write-back).
 
@@ -40,24 +46,37 @@ def label_propagation(graph: GraphLike, passes: int = 25, seed: int = 0,
     """
     if passes < 0:
         raise ValueError(f"passes must be >= 0, got {passes}")
+    store = kernels.resolve_store(graph)
+    if store is not None:
+        return kernels.label_propagation(store, passes=passes,
+                                         write_property=write_property)
     labels: dict[VertexId, VertexId] = {v.id: v.id for v in graph.vertices()}
     vertex_order = sorted(labels, key=str)
+    # str(label) tie-breaks become integer rank comparisons, computed once.
+    rank = {vertex_id: position for position, vertex_id in enumerate(vertex_order)}
+    big = len(rank)
 
     for _ in range(passes):
         changed = 0
         new_labels: dict[VertexId, VertexId] = {}
         for vertex_id in vertex_order:
-            neighbor_labels = Counter(
-                labels[neighbor] for neighbor in graph.neighbors(vertex_id)
-            )
-            if not neighbor_labels:
+            best_label = None
+            best_count = 0
+            best_rank = big
+            counts: dict[VertexId, int] = {}
+            for neighbor in graph.neighbors(vertex_id):
+                label = labels[neighbor]
+                count = counts.get(label, 0) + 1
+                counts[label] = count
+                label_rank = rank[label]
+                if count > best_count or (count == best_count
+                                          and label_rank < best_rank):
+                    best_count = count
+                    best_label = label
+                    best_rank = label_rank
+            if best_label is None:
                 new_labels[vertex_id] = labels[vertex_id]
                 continue
-            best_count = max(neighbor_labels.values())
-            best_label = min(
-                (label for label, count in neighbor_labels.items() if count == best_count),
-                key=str,
-            )
             new_labels[vertex_id] = best_label
             if best_label != labels[vertex_id]:
                 changed += 1

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.storage.base import GraphLike
+from repro.storage.csr import CSRGraphStore
 
 
 def edge_count(graph: GraphLike, label: str | None = None) -> int:
@@ -36,14 +37,33 @@ class GraphSummary:
 
 
 def summarize(graph: GraphLike) -> GraphSummary:
-    """Compute a :class:`GraphSummary` for reports."""
-    degrees = [graph.out_degree(v.id) for v in graph.vertices()]
+    """Compute a :class:`GraphSummary` for reports.
+
+    Degrees are consumed in one streaming pass (no per-vertex degree list is
+    materialized); on a CSR store they are read as consecutive differences of
+    the offsets array without any per-vertex id lookups.
+    """
+    max_degree = 0
+    if isinstance(graph, CSRGraphStore):
+        offsets, _ = graph.csr_arrays("out")
+        previous = 0
+        for offset in memoryview(offsets)[1:]:
+            degree = offset - previous
+            previous = offset
+            if degree > max_degree:
+                max_degree = degree
+    else:
+        for vertex in graph.vertices():
+            degree = graph.out_degree(vertex.id)
+            if degree > max_degree:
+                max_degree = degree
+    num_vertices = graph.num_vertices
     return GraphSummary(
         name=graph.name,
-        num_vertices=graph.num_vertices,
+        num_vertices=num_vertices,
         num_edges=graph.num_edges,
         num_vertex_types=len(graph.vertex_types()),
         num_edge_labels=len(graph.edge_labels()),
-        max_out_degree=max(degrees, default=0),
-        mean_out_degree=(sum(degrees) / len(degrees)) if degrees else 0.0,
+        max_out_degree=max_degree,
+        mean_out_degree=(graph.num_edges / num_vertices) if num_vertices else 0.0,
     )

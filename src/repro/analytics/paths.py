@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.analytics import kernels
 from repro.graph.property_graph import VertexId
 from repro.storage.base import GraphLike
 
@@ -48,6 +49,14 @@ def path_lengths(graph: GraphLike, source: VertexId, max_hops: int = 4,
     """
     if aggregate not in ("max", "sum"):
         raise ValueError(f"aggregate must be 'max' or 'sum', got {aggregate!r}")
+    store = kernels.resolve_store(graph)
+    if store is not None:
+        rows = kernels.path_length_rows(store, source, max_hops=max_hops,
+                                        weight_property=weight_property,
+                                        default_weight=default_weight,
+                                        aggregate=aggregate)
+        return [PathLengthEntry(target=target, hops=hops, weight=weight)
+                for target, hops, weight in rows]
     best: dict[VertexId, tuple[int, float]] = {}
     frontier: dict[VertexId, float] = {source: 0.0 if aggregate == "sum" else float("-inf")}
     for hop in range(1, max_hops + 1):

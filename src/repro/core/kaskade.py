@@ -191,6 +191,19 @@ class Kaskade:
         """Parse query text with the Cypher-like parser."""
         return parse_query(text, name=name)
 
+    # --------------------------------------------------------------- analytics
+    def analytics_store(self) -> GraphLike:
+        """The representation analytics (Q1–Q8) should run against.
+
+        Served through this instance's :class:`StorageManager` with a
+        read-mostly hint, so a large enough base graph comes back as its
+        cached CSR snapshot — which routes every :mod:`repro.analytics`
+        function onto the index-space kernels
+        (:mod:`repro.analytics.kernels`) instead of the per-vertex dict
+        reference path.  Small graphs come back unchanged.
+        """
+        return self.storage.store_for(self.graph, workload="read_mostly")
+
     # ------------------------------------------------------------- enumeration
     def enumerate_views(self, query: GraphQuery) -> EnumerationResult:
         """Run constraint-based view enumeration for one query (§IV)."""

@@ -40,7 +40,7 @@ class _LabelCSR:
     """One CSR block: offsets plus aligned target-id / edge-reference arrays."""
 
     __slots__ = ("offsets", "targets_int", "targets_ext", "edge_refs",
-                 "_neighbor_cache")
+                 "_neighbor_cache", "_int_neighbor_cache")
 
     def __init__(self, offsets: array, targets_int: array,
                  targets_ext: list[VertexId], edge_refs: list[Edge]) -> None:
@@ -49,6 +49,7 @@ class _LabelCSR:
         self.targets_ext = targets_ext
         self.edge_refs = edge_refs
         self._neighbor_cache: list[list[VertexId]] | None = None
+        self._int_neighbor_cache: list[list[int]] | None = None
 
     def slice_bounds(self, index: int) -> tuple[int, int]:
         return self.offsets[index], self.offsets[index + 1]
@@ -65,6 +66,21 @@ class _LabelCSR:
             offsets, ext = self.offsets, self.targets_ext
             cache = [ext[offsets[i]:offsets[i + 1]] for i in range(len(offsets) - 1)]
             self._neighbor_cache = cache
+        return cache
+
+    def int_neighbor_lists(self) -> list[list[int]]:
+        """Per-vertex *interned-id* neighbor slices, materialized once.
+
+        The integer-space counterpart of :meth:`neighbor_lists` — the
+        representation the analytics kernels iterate.  The inner lists alias
+        the cache — callers must treat them as read-only.
+        """
+        cache = self._int_neighbor_cache
+        if cache is None:
+            offsets, targets = self.offsets, self.targets_int
+            cache = [list(targets[offsets[i]:offsets[i + 1]])
+                     for i in range(len(offsets) - 1)]
+            self._int_neighbor_cache = cache
         return cache
 
 
@@ -150,6 +166,7 @@ class CSRGraphStore(GraphStore):
 
         self._out = _build_csr(n, out_all, self._index, forward=True)
         self._in = _build_csr(n, in_all, self._index, forward=False)
+        self._undirected_cache: list[list[int]] | None = None
         self._out_by_label = {
             label: _build_csr(n, incident, self._index, forward=True)
             for label, incident in out_by_label.items()
@@ -196,6 +213,10 @@ class CSRGraphStore(GraphStore):
         """External vertex id for an interned integer id."""
         return self._ids[index]
 
+    def indices_of_type(self, vertex_type: str) -> list[int]:
+        """Interned ids of the vertices with ``vertex_type``, in intern order."""
+        return list(self._by_type.get(vertex_type, ()))
+
     def csr_arrays(self, direction: str = "out", label: str | None = None
                    ) -> tuple[Sequence[int], Sequence[int]]:
         """The raw ``(offsets, targets)`` arrays in interned integer space.
@@ -209,6 +230,63 @@ class CSRGraphStore(GraphStore):
             empty = array(_ARRAY_TYPECODE, [0] * (self.num_vertices + 1))
             return empty, array(_ARRAY_TYPECODE)
         return block.offsets, block.targets_int
+
+    def int_adjacency(self, direction: str = "out", label: str | None = None
+                      ) -> list[list[int]] | None:
+        """Pre-sliced interned-id neighbor lists (``None`` for an absent label).
+
+        ``int_adjacency(d, l)[i]`` is the read-only list of interned neighbor
+        ids of vertex ``i`` in direction ``d`` over edges labelled ``l`` — the
+        zero-allocation structure index-space kernels iterate per frontier
+        vertex.  Cached per block on first use.
+        """
+        block = self._block(direction, label)
+        if block is None:
+            return None
+        return block.int_neighbor_lists()
+
+    @property
+    def undirected_adjacency_built(self) -> bool:
+        """Whether :meth:`undirected_int_adjacency` has been materialized —
+        lets callers account the build cost only when they trigger it."""
+        return self._undirected_cache is not None
+
+    def undirected_int_adjacency(self) -> list[list[int]]:
+        """Per-vertex *distinct* undirected neighbors in interned-id space.
+
+        The adjacency label propagation consumes: out- and in-neighbors of
+        each vertex merged with duplicates (parallel and mutual edges)
+        removed, mirroring ``PropertyGraph.neighbors``.  Built and cached on
+        first use; callers must treat the lists as read-only.
+        """
+        cache = self._undirected_cache
+        if cache is None:
+            out_lists = self._out.int_neighbor_lists()
+            in_lists = self._in.int_neighbor_lists()
+            cache = []
+            for index in range(self.num_vertices):
+                forward = out_lists[index]
+                backward = in_lists[index]
+                if backward or len(forward) > 1:
+                    cache.append(list(dict.fromkeys(forward + backward)))
+                else:
+                    cache.append(forward)
+            self._undirected_cache = cache
+        return cache
+
+    def aligned_edges(self, direction: str = "out", label: str | None = None
+                      ) -> list[Edge] | None:
+        """Edge objects aligned with :meth:`csr_arrays`'s ``targets`` array.
+
+        ``aligned_edges(d, l)[pos]`` is the edge whose endpoint is
+        ``targets[pos]`` — how kernels bulk-extract an edge property (e.g.
+        Q4's timestamp weights) into a flat array once, instead of touching
+        property dicts per traversal step.  ``None`` for an absent label.
+        """
+        block = self._block(direction, label)
+        if block is None:
+            return None
+        return block.edge_refs
 
     def _block(self, direction: str, label: str | None) -> _LabelCSR | None:
         if direction == "out":

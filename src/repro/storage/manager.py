@@ -113,6 +113,50 @@ class _UnionEntry:
 _MAX_UNION_ENTRIES = 8
 
 
+# Every manager's freeze() publishes its snapshot here, so independent
+# managers (e.g. a Kaskade instance's and the analytics-kernel dispatch's)
+# never build duplicate CSR snapshots of the same live graph.  Entries are
+# validated against both the graph identity (ids can be recycled after GC)
+# and the graph's version counter, and reaped when the graph is collected.
+_SNAPSHOT_REGISTRY: dict[int, tuple[weakref.ref, CSRGraphStore]] = {}
+
+
+def _publish_snapshot(graph: PropertyGraph, snapshot: CSRGraphStore) -> None:
+    key = id(graph)
+
+    def _reap(_ref: weakref.ref, *, _key=key) -> None:
+        _SNAPSHOT_REGISTRY.pop(_key, None)
+
+    _SNAPSHOT_REGISTRY[key] = (weakref.ref(graph, _reap), snapshot)
+
+
+def lookup_snapshot(graph: PropertyGraph) -> CSRGraphStore | None:
+    """A fresh CSR snapshot of ``graph`` built by *any* manager, or ``None``.
+
+    Consumers that only profit from a snapshot when the build cost is
+    already paid (analytics dispatch, one-shot connector enumeration) probe
+    this instead of freezing; staleness is detected via the graph's
+    ``version`` counter.  A stale entry can never become fresh again (the
+    counter is monotonic), so it is evicted on sight instead of pinning the
+    snapshot until the graph dies.
+    """
+    key = id(graph)
+    entry = _SNAPSHOT_REGISTRY.get(key)
+    if entry is None or entry[0]() is not graph:
+        return None
+    if entry[1].source_version != graph.version:
+        _SNAPSHOT_REGISTRY.pop(key, None)
+        return None
+    return entry[1]
+
+
+def discard_snapshot(graph: PropertyGraph) -> None:
+    """Drop ``graph``'s published snapshot (explicit memory release)."""
+    entry = _SNAPSHOT_REGISTRY.get(id(graph))
+    if entry is not None and entry[0]() is graph:
+        _SNAPSHOT_REGISTRY.pop(id(graph), None)
+
+
 class StorageManager:
     """Selects the physical graph representation per workload.
 
@@ -201,23 +245,52 @@ class StorageManager:
         return getattr(store, "backend", "dict")
 
     def freeze(self, graph: PropertyGraph) -> CSRGraphStore:
-        """Force a CSR snapshot of ``graph`` (cached until the graph mutates)."""
+        """Force a CSR snapshot of ``graph`` (cached until the graph mutates).
+
+        Fresh snapshots published by *other* managers are adopted instead of
+        rebuilt, and every build is published to the shared registry
+        (:func:`lookup_snapshot`).
+        """
         state = self._state_of(graph)
         if state.snapshot is not None and state.snapshot.source_version == graph.version:
             self.stats.snapshot_hits += 1
             return state.snapshot
-        snapshot = CSRGraphStore.from_graph(graph)
+        snapshot = lookup_snapshot(graph)
+        if snapshot is not None:
+            self.stats.snapshot_hits += 1
+        else:
+            snapshot = CSRGraphStore.from_graph(graph)
+            self.stats.snapshots_built += 1
+            _publish_snapshot(graph, snapshot)
         state.snapshot = snapshot
         state.observed_version = graph.version
-        self.stats.snapshots_built += 1
         return snapshot
 
+    def cached_snapshot(self, graph: PropertyGraph) -> CSRGraphStore | None:
+        """An already-built CSR snapshot of ``graph`` at its *current* version.
+
+        Returns ``None`` instead of building: callers that only profit from a
+        snapshot when the build cost is already paid (e.g. one-shot connector
+        path enumeration) use this to probe without triggering a freeze.
+        """
+        state = self._states.get(id(graph))
+        if (state is not None and state.ref() is graph
+                and state.snapshot is not None
+                and state.snapshot.source_version == graph.version):
+            return state.snapshot
+        return None
+
     def invalidate(self, graph: PropertyGraph) -> None:
-        """Drop any cached snapshot of ``graph`` (e.g. before bulk mutation)."""
+        """Drop any cached snapshot of ``graph`` (e.g. before bulk mutation).
+
+        Also retracts the snapshot from the shared registry, so explicit
+        invalidation releases the memory everywhere at once.
+        """
         state = self._states.get(id(graph))
         if state is not None:
             state.snapshot = None
             state.reads_since_change = 0
+        discard_snapshot(graph)
 
     def _state_of(self, graph: PropertyGraph) -> _GraphState:
         key = id(graph)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
+from repro.analytics import kernels
 from repro.errors import ViewError
 from repro.graph.property_graph import PropertyGraph, Vertex, VertexId
 from repro.graph.transform import contract_paths, enumerate_k_hop_paths
@@ -61,8 +62,28 @@ def _type_predicate(vertex_type: str | None) -> Callable[[Vertex], bool] | None:
 
 def _k_hop_paths(graph: PropertyGraph, view: ConnectorView,
                  max_paths: int | None) -> list[tuple[VertexId, ...]]:
-    """Paths for k-hop connectors: exactly k hops between the target types."""
+    """Paths for k-hop connectors: exactly k hops between the target types.
+
+    When a CSR snapshot is already cached — or the estimated enumeration work
+    justifies freezing one — the index-space kernel enumerates instead,
+    walking pre-sliced interned adjacency with byte-mask endpoint predicates
+    rather than re-walking ``PropertyGraph`` adjacency dicts per source; the
+    kernel emits the exact path list — same paths, same order, same
+    ``max_paths`` cutoff — the reference
+    :func:`~repro.graph.transform.enumerate_k_hop_paths` produces.
+    """
     assert view.k is not None
+    store = kernels.resolve_store_for_paths(graph, view.k)
+    if store is not None:
+        return kernels.k_hop_paths(
+            store,
+            view.k,
+            source_type=view.source_type,
+            target_type=view.target_type or view.source_type,
+            edge_label=view.edge_label or None,
+            allow_closing=True,
+            max_paths=max_paths,
+        )
     labels = [view.edge_label] if view.edge_label else None
     return enumerate_k_hop_paths(
         graph,

@@ -22,7 +22,7 @@ from typing import Any, Callable
 from repro.analytics.community import label_propagation, largest_community
 from repro.analytics.metrics import edge_count, vertex_count
 from repro.analytics.paths import path_lengths
-from repro.analytics.traversal import ancestors, blast_radius, descendants, k_hop_neighborhood
+from repro.analytics.traversal import blast_radius, bulk_k_hop_counts
 from repro.storage.base import GraphLike
 
 #: Hop bound used by the blast radius query (Listing 1: jobs up to ~10 hops away).
@@ -107,15 +107,18 @@ def build_workload(anchor_type: str | None, heterogeneous: bool,
             ),
         ))
 
+    # Q2/Q3 anchor on every vertex (of the anchor type): one bulk sweep over
+    # shared kernel buffers instead of an independent traversal per anchor.
+    bulk_kwargs = {
+        "anchor_type": anchor_type if heterogeneous else None,
+        "vertex_type": anchors_kwargs["vertex_type"],
+    }
+
     def run_ancestors(graph: GraphLike, hops: int) -> dict[Any, int]:
-        anchor_ids = graph.vertex_ids(anchor_type) if heterogeneous else graph.vertex_ids()
-        return {vid: len(ancestors(graph, vid, hops, **anchors_kwargs))
-                for vid in anchor_ids}
+        return bulk_k_hop_counts(graph, hops, direction="in", **bulk_kwargs)
 
     def run_descendants(graph: GraphLike, hops: int) -> dict[Any, int]:
-        anchor_ids = graph.vertex_ids(anchor_type) if heterogeneous else graph.vertex_ids()
-        return {vid: len(descendants(graph, vid, hops, **anchors_kwargs))
-                for vid in anchor_ids}
+        return bulk_k_hop_counts(graph, hops, direction="out", **bulk_kwargs)
 
     def run_path_lengths(graph: GraphLike, hops: int) -> dict[Any, int]:
         anchor_ids = graph.vertex_ids(anchor_type) if heterogeneous else graph.vertex_ids()

@@ -4,7 +4,9 @@ The Fig. 7 experiment measures total query runtime over the filtered graph vs
 an equivalent 2-hop connector view (heterogeneous datasets), or the raw graph
 vs the connector (homogeneous datasets).  The runner prepares both graphs for
 a dataset, runs every workload query in both modes, and reports wall-clock
-time, a machine-independent work proxy (result size), and the speedup.
+time, a machine-independent work proxy (result size), the speedup, and which
+analytics engine served each query (index-space CSR ``kernel`` vs dict-store
+``reference`` — see :mod:`repro.analytics.kernels`).
 
 Beyond the paper's read-only setup, :func:`run_streaming_workload` models the
 production serving scenario the ROADMAP targets: batches of base-graph
@@ -20,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.analytics import kernels
 from repro.datasets.registry import DatasetSpec
 from repro.graph.property_graph import PropertyGraph
 from repro.graph.transform import induced_subgraph_by_vertex_types
@@ -43,6 +46,11 @@ class QueryRuntime:
     mode: str  # "filter" / "raw" / "connector"
     seconds: float
     result_size: int
+    #: Which analytics implementation the query's graph dispatches to:
+    #: ``"kernel"`` (index-space CSR kernels) or ``"reference"`` (dict-store
+    #: oracle).  Count-only queries (Q5/Q6) answer from size counters either
+    #: way; the field reports the dispatch decision, not per-query coverage.
+    engine: str = "reference"
 
 
 @dataclass
@@ -171,8 +179,9 @@ def prepare_dataset(spec: DatasetSpec, max_connector_paths: int | None = 2_000_0
 
 def run_query(query: WorkloadQuery, prepared: PreparedDataset,
               mode: str) -> QueryRuntime:
-    """Run one workload query in one mode and record its runtime."""
+    """Run one workload query in one mode and record its runtime + engine."""
     graph = prepared.graph_for(mode)
+    engine = kernels.engine_for(graph)
     runner = query.run_connector if mode == "connector" else query.run_base
     start = time.perf_counter()
     result = runner(graph)
@@ -183,6 +192,7 @@ def run_query(query: WorkloadQuery, prepared: PreparedDataset,
         mode=mode,
         seconds=elapsed,
         result_size=_result_size(result),
+        engine=engine,
     )
 
 
@@ -205,16 +215,19 @@ def run_workload(prepared: PreparedDataset,
         for mode in (prepared.base_mode, "connector"):
             total = 0.0
             size = 0
+            engine = "reference"
             for _ in range(max(repetitions, 1)):
                 record = run_query(query, prepared, mode)
                 total += record.seconds
                 size = record.result_size
+                engine = record.engine
             result.runtimes.append(QueryRuntime(
                 dataset=prepared.spec.name,
                 query_id=query.query_id,
                 mode=mode,
                 seconds=total / max(repetitions, 1),
                 result_size=size,
+                engine=engine,
             ))
     return result
 
