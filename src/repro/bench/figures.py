@@ -9,17 +9,16 @@ comparisons.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.core.enumerator import ViewEnumerator
 from repro.core.estimator import ViewSizeEstimator, erdos_renyi_estimate
 from repro.core.kaskade import Kaskade
-from repro.datasets.registry import DatasetSpec, dataset, evaluation_datasets
+from repro.datasets.registry import dataset, evaluation_datasets
 from repro.graph.io import edge_prefix
-from repro.graph.property_graph import PropertyGraph
 from repro.graph.schema import provenance_schema
-from repro.graph.statistics import compute_statistics, degree_ccdf, fit_power_law
+from repro.graph.statistics import degree_ccdf, fit_power_law
 from repro.graph.transform import induced_subgraph_by_vertex_types
 from repro.query.parser import parse_query
 from repro.views.catalog import ViewCatalog

@@ -36,16 +36,32 @@ from repro.core.estimator import (
     homogeneous_estimate,
 )
 from repro.core.cost_model import CandidateAssessment, ViewBenefit, ViewCostModel
+from repro.core.lifecycle import (
+    AdaptationReport,
+    CostCalibration,
+    EvictionRecord,
+    LifecycleConfig,
+    ViewLifecycleEngine,
+    WorkloadEntry,
+    WorkloadLog,
+)
 from repro.core.rewriter import QueryRewriter, RewrittenQuery
 from repro.core.selection import SelectionResult, ViewSelector
 from repro.core.kaskade import Kaskade, MaterializationReport, QueryOutcome
 
 __all__ = [
+    "AdaptationReport",
     "AggregateTemplate",
     "CandidateAssessment",
+    "CostCalibration",
     "DEFAULT_ALPHA",
     "EnumerationResult",
+    "EvictionRecord",
     "Kaskade",
+    "LifecycleConfig",
+    "ViewLifecycleEngine",
+    "WorkloadEntry",
+    "WorkloadLog",
     "MaterializationReport",
     "QueryOutcome",
     "QueryRewriter",

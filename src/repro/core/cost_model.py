@@ -106,6 +106,22 @@ class ViewCostModel:
         self.query_cost_model = QueryCostModel(graph_statistics, alpha=query_cost_alpha)
         self.query_cost_alpha = query_cost_alpha
         self.rewriter = QueryRewriter(schema)
+        #: Optional execution-feedback calibration (duck-typed: anything with
+        #: ``query_factor(query)`` / ``size_factor(definition)``, e.g.
+        #: :class:`repro.core.lifecycle.CostCalibration`).
+        self.calibration = None
+
+    def attach_calibration(self, calibration) -> None:
+        """Apply execution-feedback correction factors to future estimates.
+
+        ``calibration.query_factor(query)`` scales raw query-cost estimates
+        and ``calibration.size_factor(definition)`` scales view-size
+        estimates (both estimators share the one calibration object, so the
+        budget-bounding and expected-case estimates shift together).
+        """
+        self.calibration = calibration
+        self.estimator.calibration = calibration
+        self.expected_estimator.calibration = calibration
 
     @classmethod
     def for_graph(cls, graph: PropertyGraph, alpha: float = DEFAULT_ALPHA) -> "ViewCostModel":
@@ -124,8 +140,15 @@ class ViewCostModel:
         return max(float(size.edges), 1.0) * self.CREATION_COST_PER_EDGE
 
     def query_cost(self, query: GraphQuery) -> float:
-        """Evaluation cost of a query over the raw graph."""
-        return self.query_cost_model.estimate_total(query)
+        """Evaluation cost of a query over the raw graph.
+
+        When a calibration is attached, the statistics-driven estimate is
+        scaled by the template's learned observed/estimated work ratio.
+        """
+        cost = self.query_cost_model.estimate_total(query)
+        if self.calibration is not None:
+            cost *= self.calibration.query_factor(query)
+        return cost
 
     def rewritten_query_cost(self, rewrite: RewrittenQuery,
                              size: SizeEstimate | None = None) -> float:
@@ -150,12 +173,16 @@ class ViewCostModel:
                 continue
             raw = self.query_cost(query)
             rewritten = self.rewritten_query_cost(rewrite, size)
+            # Rewrites are keyed by the structural signature (stable across
+            # re-parses and safe for unnamed queries, unlike id()); benefits
+            # keep the human-readable name for reporting when one exists.
+            query_key = query.structural_signature()
             assessment.benefits.append(ViewBenefit(
-                query_name=query.name or str(id(query)),
+                query_name=query.name or query_key,
                 raw_cost=raw,
                 rewritten_cost=rewritten,
             ))
-            assessment.rewrites[query.name or str(id(query))] = rewrite
+            assessment.rewrites[query_key] = rewrite
         return assessment
 
     def assess_all(self, candidates: Iterable[ViewCandidate],

@@ -97,6 +97,12 @@ class ViewSizeEstimator:
         self.statistics = statistics
         self.alpha = alpha
         self.schema = schema
+        #: Optional execution-feedback calibration (duck-typed: anything with
+        #: ``size_factor(definition) -> float``).  When attached, every
+        #: estimate is scaled by the learned actual/estimated ratio of the
+        #: view's template — the online correction for the systematic bias of
+        #: any single α percentile on a particular graph.
+        self.calibration = None
 
     @classmethod
     def for_graph(cls, graph: PropertyGraph, alpha: float = DEFAULT_ALPHA,
@@ -108,6 +114,23 @@ class ViewSizeEstimator:
     # ------------------------------------------------------------------ public
     def estimate(self, view: ViewDefinition) -> SizeEstimate:
         """Estimate the number of edges ``view`` would have when materialized."""
+        estimate = self.raw_estimate(view)
+        if self.calibration is not None:
+            factor = self.calibration.size_factor(view)
+            if factor != 1.0:
+                estimate = SizeEstimate(edges=estimate.edges * factor,
+                                        method=f"{estimate.method}+calibrated",
+                                        alpha=estimate.alpha, k=estimate.k)
+        return estimate
+
+    def raw_estimate(self, view: ViewDefinition) -> SizeEstimate:
+        """The statistics-only estimate, never scaled by calibration.
+
+        Calibration ratios must be observed against *this* value — observing
+        against the calibrated estimate would feed the factor back into its
+        own denominator and converge it to ``sqrt(actual/raw)`` instead of
+        ``actual/raw``.
+        """
         if isinstance(view, ConnectorView):
             return self.estimate_connector(view)
         if isinstance(view, SummarizerView):

@@ -24,10 +24,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from repro.core.cost_model import CandidateAssessment, ViewCostModel
+from repro.core.cost_model import ViewCostModel
 from repro.errors import QueryExecutionError, ViewError
 from repro.core.enumerator import EnumerationResult, ViewEnumerator
 from repro.core.estimator import DEFAULT_ALPHA
+from repro.core.lifecycle import AdaptationReport, LifecycleConfig, ViewLifecycleEngine
 from repro.core.rewriter import QueryRewriter, RewrittenQuery
 from repro.core.selection import SelectionResult, ViewSelector
 from repro.core.templates import ViewCandidate
@@ -37,6 +38,7 @@ from repro.graph.statistics import compute_statistics
 from repro.query.ast import GraphQuery
 from repro.query.cost import QueryCostModel
 from repro.query.executor import ENGINES, ExecutionResult, QueryExecutor
+from repro.query.stats import WorkFeedback
 from repro.query.plan import LogicalPlan, PhysicalExecutor, QueryPlanner
 from repro.query.parser import parse_query
 from repro.storage.base import GraphLike
@@ -96,10 +98,29 @@ class QueryOutcome:
     #: plan won the cost comparison and the view did not run.
     considered_view: str | None = None
     engine: str = "planner"
+    #: When the adaptive lifecycle engine is enabled and this execution
+    #: triggered an adaptation cycle, the cycle's report.
+    adaptation: AdaptationReport | None = None
 
     @property
     def used_view_name(self) -> str | None:
         return self.used_view.definition.name if self.used_view else None
+
+    def feedback(self) -> WorkFeedback:
+        """The execution-feedback sample this outcome contributes (stats hook).
+
+        ``planned_cost`` is the cost of the plan that actually ran — the
+        rewrite's when a view served the query, the base plan's otherwise —
+        so observed/planned ratios compare like with like.
+        """
+        planned = self.rewrite_cost if self.used_view is not None else self.base_cost
+        return WorkFeedback(
+            signature=self.query.structural_signature(),
+            observed_work=self.result.stats.total_work,
+            planned_cost=planned,
+            used_view=self.used_view_name,
+            rows=len(self.result.rows),
+        )
 
     def explain(self) -> str:
         """Human-readable account of the base-vs-view decision and the plan."""
@@ -185,6 +206,9 @@ class Kaskade:
         # (query signature, graph name, graph version) -> logical plan; the
         # per-query analogue of saved rewrites.
         self._saved_plans: dict[tuple[str, str, int | None], LogicalPlan] = {}
+        # Workload-adaptive view lifecycle engine (opt-in via
+        # enable_adaptive); when attached, every execute() feeds it.
+        self.lifecycle: ViewLifecycleEngine | None = None
 
     # ----------------------------------------------------------------- parsing
     def parse(self, text: str, name: str = "") -> GraphQuery:
@@ -223,6 +247,13 @@ class Kaskade:
                     self.graph, assessment.candidate.definition,
                     max_paths=self.materialization_max_paths)
                 materialized.append(view)
+                if self.lifecycle is not None:
+                    # Against the raw estimate, never the calibrated one —
+                    # see ViewLifecycleEngine._observe_view_size.
+                    self.lifecycle.calibration.observe_view_size(
+                        view.definition,
+                        self.cost_model.estimator.raw_estimate(view.definition).edges,
+                        view.graph.num_edges)
         for query in workload:
             self._save_rewrites(query, selection.rewrites_for(query))
         elapsed = time.perf_counter() - start
@@ -235,6 +266,66 @@ class Kaskade:
         definition = candidate.definition if isinstance(candidate, ViewCandidate) else candidate
         return self.catalog.materialize(self.graph, definition,
                                         max_paths=self.materialization_max_paths)
+
+    def evict_view(self, definition: ConnectorView | SummarizerView) -> MaterializedView:
+        """Completely evict a materialized view.
+
+        Beyond :meth:`ViewCatalog.drop` (which already releases the CSR
+        snapshot, cached unions, and the persisted artifact through the
+        storage manager), the planner/cost-model/plan caches keyed by the
+        view graph's name are purged: a later re-materialization under the
+        same name starts a fresh version counter, so stale per-version
+        entries could otherwise serve outdated statistics.
+        """
+        view = self.catalog.drop(definition)
+        graph_name = getattr(view.graph, "name", None)
+        if graph_name is not None:
+            self._cost_models = {key: model for key, model in self._cost_models.items()
+                                 if key[0] != graph_name}
+            self._planners = {key: planner for key, planner in self._planners.items()
+                              if key[0] != graph_name}
+            self._saved_plans = {key: plan for key, plan in self._saved_plans.items()
+                                 if key[1] != graph_name}
+        return view
+
+    # ------------------------------------------------------ adaptive lifecycle
+    def enable_adaptive(self, budget_edges: float | None = None, *,
+                        adapt_every: int = 32,
+                        config: LifecycleConfig | None = None) -> ViewLifecycleEngine:
+        """Turn on the workload-adaptive view lifecycle engine.
+
+        Every subsequent :meth:`execute` call (with ``use_views=True``)
+        records the query's structural signature, frequency, and observed
+        work in the engine's :class:`~repro.core.lifecycle.WorkloadLog`;
+        after every ``adapt_every`` queries the engine re-runs
+        frequency-weighted view selection under ``budget_edges``,
+        materializes newly winning views, evicts the rest, and calibrates
+        the cost model from execution feedback.
+
+        Args:
+            budget_edges: Space budget for re-selection (required unless a
+                full ``config`` is given).
+            adapt_every: Queries between automatic adaptation cycles.
+            config: Full :class:`LifecycleConfig`, overriding the two
+                shorthand arguments.
+
+        Returns:
+            The attached engine (also available as ``self.lifecycle``).
+        """
+        if config is None:
+            if budget_edges is None:
+                raise ViewError("enable_adaptive needs budget_edges or a config")
+            config = LifecycleConfig(budget_edges=budget_edges,
+                                     adapt_every=adapt_every)
+        self.lifecycle = ViewLifecycleEngine(self, config)
+        self.cost_model.attach_calibration(self.lifecycle.calibration)
+        return self.lifecycle
+
+    def adapt_views(self) -> AdaptationReport:
+        """Run one adaptation cycle on demand (engine must be enabled)."""
+        if self.lifecycle is None:
+            raise ViewError("adaptive lifecycle not enabled; call enable_adaptive first")
+        return self.lifecycle.adapt()
 
     # --------------------------------------------------------------- rewriting
     def _save_rewrites(self, query: GraphQuery, rewrites: list[RewrittenQuery]) -> None:
@@ -391,16 +482,22 @@ class Kaskade:
             view = self.catalog.get(rewrite.candidate.definition)
             target = self._target_graph(rewrite, view)
             result, plan = self._run(rewrite.rewritten, target, engine, max_work)
-            return QueryOutcome(query=query, result=result, used_view=view,
-                                rewrite=rewrite, plan=plan, base_cost=base_cost,
-                                rewrite_cost=rewrite_cost,
-                                considered_view=considered, engine=engine,
-                                elapsed_seconds=time.perf_counter() - start)
-        result, plan = self._run(query, base, engine, max_work)
-        return QueryOutcome(query=query, result=result, plan=plan,
-                            base_cost=base_cost, rewrite_cost=rewrite_cost,
-                            considered_view=considered, engine=engine,
-                            elapsed_seconds=time.perf_counter() - start)
+            outcome = QueryOutcome(query=query, result=result, used_view=view,
+                                   rewrite=rewrite, plan=plan, base_cost=base_cost,
+                                   rewrite_cost=rewrite_cost,
+                                   considered_view=considered, engine=engine,
+                                   elapsed_seconds=time.perf_counter() - start)
+        else:
+            result, plan = self._run(query, base, engine, max_work)
+            outcome = QueryOutcome(query=query, result=result, plan=plan,
+                                   base_cost=base_cost, rewrite_cost=rewrite_cost,
+                                   considered_view=considered, engine=engine,
+                                   elapsed_seconds=time.perf_counter() - start)
+        # Feed the adaptive lifecycle engine; raw baselines (use_views=False)
+        # stay out of the log so A/B comparisons don't skew the mix.
+        if self.lifecycle is not None and use_views:
+            outcome.adaptation = self.lifecycle.observe(query, outcome)
+        return outcome
 
     def _run(self, query: GraphQuery, target: GraphLike, engine: str,
              max_work: int | None) -> tuple[ExecutionResult, LogicalPlan | None]:
@@ -453,9 +550,17 @@ class Kaskade:
             "with storage=StorageManager(persist_path=...)")
 
     def persist_views(self, path=None, backend: str | None = None) -> PersistentViewStore:
-        """Snapshot the current view catalog to disk; returns the store used."""
+        """Snapshot the current view catalog to disk; returns the store used.
+
+        When the adaptive lifecycle engine is enabled, its advisor state
+        (workload log + cost calibration) is checkpointed alongside the
+        views, so a restarted process resumes selection from the same
+        evidence.
+        """
         store = self._persistent_store(path, backend)
         store.save_catalog(self.catalog)
+        if self.lifecycle is not None:
+            self.lifecycle.checkpoint(store)
         return store
 
     def restore_views(self, path=None, backend: str | None = None) -> int:
@@ -463,10 +568,14 @@ class Kaskade:
 
         Returns the number of views restored.  Restored views flow through
         :meth:`ViewCatalog.register`, so the storage manager freezes eligible
-        ones just like fresh materializations.
+        ones just like fresh materializations.  When the adaptive lifecycle
+        engine is enabled, any checkpointed advisor state is restored too
+        (enable the engine *before* restoring).
         """
         store = self._persistent_store(path, backend)
         views = store.load_views()
         for view in views:
             self.catalog.register(view)
+        if self.lifecycle is not None:
+            self.lifecycle.restore(store)
         return len(views)

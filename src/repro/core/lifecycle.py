@@ -1,0 +1,551 @@
+"""Workload-adaptive view lifecycle engine (the online §V-B loop).
+
+The paper's workload analyzer (Fig. 2) is described as a one-shot offline
+step: enumerate candidates for a fixed workload, solve the knapsack, hand the
+chosen views to the graph engine.  A serving system never sees a fixed
+workload — the query mix drifts, views decay from "hot" to "dead weight", and
+the cost model's α-percentile estimates are systematically off for any one
+graph.  This module closes the loop:
+
+    execute ──▶ WorkloadLog (signature, frequency, planned vs observed work)
+        │                                │
+        │                                ▼  every ``adapt_every`` queries
+        │                       ViewLifecycleEngine.adapt()
+        │                                │ re-enumerate + frequency-weighted
+        │                                │ knapsack under the space budget
+        │                                ▼
+        │                 diff desired catalog vs current catalog
+        │                    │                         │
+        │              materialize new winners    evict decayed views
+        │                    │   (actual sizes feed   (catalog + persistent
+        │                    ▼    the calibrator)      store + CSR snapshots)
+        └──────────── CostCalibration ◀──────────────────┘
+              observed/estimated ratios, applied per template to
+              ``ViewCostModel`` (query costs) and ``ViewSizeEstimator``
+              (view sizes) so the *next* selection is better informed
+
+Everything the engine learns — the workload log and the calibration state —
+round-trips through :class:`~repro.storage.persistent.PersistentViewStore`
+(:meth:`ViewLifecycleEngine.state_dict` / :meth:`ViewLifecycleEngine.load_state`),
+so an engine restarted on the same graph re-selects exactly what it would
+have selected before the restart.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.core.selection import SelectionResult
+from repro.query.ast import GraphQuery
+from repro.query.parser import parse_query
+from repro.views.definitions import ConnectorView, SummarizerView, ViewDefinition
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (kaskade -> lifecycle)
+    from repro.core.kaskade import Kaskade, QueryOutcome
+    from repro.views.catalog import MaterializedView
+
+#: Reasons an adaptation cycle may evict a view.
+EVICTION_REASONS = ("unselected", "budget")
+
+
+# --------------------------------------------------------------------- log
+@dataclass
+class WorkloadEntry:
+    """One distinct query template observed by the workload log.
+
+    ``count`` is a *decayed* frequency: every adaptation cycle multiplies it
+    by the log's decay factor, so templates that stopped arriving fade out of
+    selection instead of pinning their views forever.
+    """
+
+    signature: str
+    query: GraphQuery
+    name: str = ""
+    count: float = 0.0
+    last_seen: int = 0
+    #: Selection-time (uncalibrated) cost estimate of the query template.
+    estimated_cost: float = 0.0
+    #: EWMA of the observed execution work (``ExecutionStats.total_work``).
+    observed_work: float = 0.0
+    samples: int = 0
+
+    def observe(self, observed_work: float, tick: int, smoothing: float) -> None:
+        self.count += 1.0
+        self.last_seen = tick
+        if self.samples == 0:
+            self.observed_work = float(observed_work)
+        else:
+            self.observed_work += smoothing * (observed_work - self.observed_work)
+        self.samples += 1
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "signature": self.signature,
+            "text": str(self.query),
+            "name": self.name,
+            "count": self.count,
+            "last_seen": self.last_seen,
+            "estimated_cost": self.estimated_cost,
+            "observed_work": self.observed_work,
+            "samples": self.samples,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "WorkloadEntry":
+        query = parse_query(payload["text"], name=payload.get("name", ""))
+        return cls(
+            signature=payload["signature"],
+            query=query,
+            name=payload.get("name", ""),
+            count=float(payload.get("count", 0.0)),
+            last_seen=int(payload.get("last_seen", 0)),
+            estimated_cost=float(payload.get("estimated_cost", 0.0)),
+            observed_work=float(payload.get("observed_work", 0.0)),
+            samples=int(payload.get("samples", 0)),
+        )
+
+
+class WorkloadLog:
+    """Bounded, decayed record of the queries the engine has served.
+
+    Entries are keyed by the query's *structural signature* (name-independent
+    MATCH/WHERE/RETURN identity), so two differently-named submissions of the
+    same template accumulate into one frequency — the unit both selection
+    weighting and calibration operate on.
+    """
+
+    def __init__(self, decay: float = 0.5, max_entries: int = 256,
+                 min_count: float = 0.05, smoothing: float = 0.5) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.decay = decay
+        self.max_entries = max_entries
+        self.min_count = min_count
+        self.smoothing = smoothing
+        self.ticks = 0
+        self._entries: dict[str, WorkloadEntry] = {}
+
+    def record(self, query: GraphQuery, observed_work: float,
+               estimated_cost: float | None = None) -> WorkloadEntry:
+        """Fold one execution into the log and return the template's entry."""
+        self.ticks += 1
+        signature = query.structural_signature()
+        entry = self._entries.get(signature)
+        if entry is None:
+            if len(self._entries) >= self.max_entries:
+                coldest = min(self._entries.values(), key=lambda e: (e.count, e.last_seen))
+                del self._entries[coldest.signature]
+            entry = WorkloadEntry(signature=signature, query=query,
+                                  name=query.name or "")
+            self._entries[signature] = entry
+        if query.name and not entry.name:
+            entry.name = query.name
+        if estimated_cost is not None:
+            entry.estimated_cost = float(estimated_cost)
+        entry.observe(observed_work, self.ticks, self.smoothing)
+        return entry
+
+    def decay_all(self) -> None:
+        """Age every template; templates decayed below ``min_count`` drop out."""
+        stale = []
+        for signature, entry in self._entries.items():
+            entry.count *= self.decay
+            if entry.count < self.min_count:
+                stale.append(signature)
+        for signature in stale:
+            del self._entries[signature]
+
+    # ------------------------------------------------------------- selection
+    def workload(self) -> list[GraphQuery]:
+        """The distinct query templates, hottest first (selection input)."""
+        entries = sorted(self._entries.values(), key=lambda e: (-e.count, e.signature))
+        return [entry.query for entry in entries]
+
+    def weights(self) -> dict[str, float]:
+        """Decayed frequency per structural signature (selection weighting)."""
+        return {sig: entry.count for sig, entry in self._entries.items()}
+
+    def entry(self, signature: str) -> WorkloadEntry | None:
+        return self._entries.get(signature)
+
+    def entries(self) -> list[WorkloadEntry]:
+        return list(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ----------------------------------------------------------- durability
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "decay": self.decay,
+            "max_entries": self.max_entries,
+            "min_count": self.min_count,
+            "smoothing": self.smoothing,
+            "ticks": self.ticks,
+            "entries": [entry.to_dict() for entry in self._entries.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "WorkloadLog":
+        log = cls(
+            decay=float(payload.get("decay", 0.5)),
+            max_entries=int(payload.get("max_entries", 256)),
+            min_count=float(payload.get("min_count", 0.05)),
+            smoothing=float(payload.get("smoothing", 0.5)),
+        )
+        log.ticks = int(payload.get("ticks", 0))
+        for record in payload.get("entries", []):
+            entry = WorkloadEntry.from_dict(record)
+            log._entries[entry.signature] = entry
+        return log
+
+
+# -------------------------------------------------------------- calibration
+@dataclass
+class _Ratio:
+    """EWMA of an observed/estimated ratio."""
+
+    value: float = 1.0
+    samples: int = 0
+
+    def observe(self, ratio: float, smoothing: float) -> None:
+        if self.samples == 0:
+            self.value = ratio
+        else:
+            self.value += smoothing * (ratio - self.value)
+        self.samples += 1
+
+
+class CostCalibration:
+    """Observed/estimated correction factors for the advisor's cost model.
+
+    Two families of ratios are learned, both per *template* so one
+    observation generalizes to every sibling view or query of the same shape:
+
+    * **query cost** — keyed by structural query signature: how much actual
+      traversal work (``ExecutionStats.total_work``) one unit of the
+      selection-time cost estimate turned out to be worth;
+    * **view size** — keyed by the view's template (kind, connector kind,
+      source type / summarizer kind): actual materialized edges over the
+      α-percentile estimate.  The α = 95 upper bound is the right *budgeting*
+      posture before any observation, but once a sibling view has been
+      materialized the measured ratio is strictly better information — it is
+      what lets a previously "too big on paper" view fit the budget.
+
+    Factors are clamped to ``[min_factor, max_factor]`` so one outlier
+    observation cannot poison future selections.
+    """
+
+    def __init__(self, smoothing: float = 0.5, min_factor: float = 0.01,
+                 max_factor: float = 100.0) -> None:
+        self.smoothing = smoothing
+        self.min_factor = min_factor
+        self.max_factor = max_factor
+        self._query: dict[str, _Ratio] = {}
+        self._size: dict[str, _Ratio] = {}
+
+    # ------------------------------------------------------------- observing
+    def observe_query(self, query: GraphQuery, estimated_cost: float,
+                      observed_work: float) -> None:
+        """Record how a query's selection-time estimate compared to reality."""
+        if estimated_cost <= 0:
+            return
+        ratio = self._clamp(observed_work / estimated_cost)
+        self._query.setdefault(query.structural_signature(), _Ratio()).observe(
+            ratio, self.smoothing)
+
+    def observe_view_size(self, definition: ViewDefinition, estimated_edges: float,
+                          actual_edges: float) -> None:
+        """Record a materialized view's actual size against its estimate."""
+        if estimated_edges <= 0:
+            return
+        ratio = self._clamp(actual_edges / estimated_edges)
+        self._size.setdefault(self.template_key(definition), _Ratio()).observe(
+            ratio, self.smoothing)
+
+    # -------------------------------------------------------------- applying
+    def query_factor(self, query: GraphQuery) -> float:
+        """Multiplier for the selection-time cost estimate of ``query``."""
+        ratio = self._query.get(query.structural_signature())
+        return ratio.value if ratio is not None else 1.0
+
+    def size_factor(self, definition: ViewDefinition) -> float:
+        """Multiplier for the size estimate of any view of this template."""
+        ratio = self._size.get(self.template_key(definition))
+        return ratio.value if ratio is not None else 1.0
+
+    @staticmethod
+    def template_key(definition: ViewDefinition) -> str:
+        """The template a view generalizes observations across."""
+        if isinstance(definition, ConnectorView):
+            return "|".join(("connector", definition.connector_kind,
+                             definition.source_type or "*",
+                             definition.target_type or definition.source_type or "*"))
+        if isinstance(definition, SummarizerView):
+            return "|".join(("summarizer", definition.summarizer_kind))
+        return "|".join(("view", type(definition).__name__))
+
+    def _clamp(self, ratio: float) -> float:
+        return min(max(ratio, self.min_factor), self.max_factor)
+
+    # ----------------------------------------------------------- durability
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "smoothing": self.smoothing,
+            "min_factor": self.min_factor,
+            "max_factor": self.max_factor,
+            "query": {key: {"value": r.value, "samples": r.samples}
+                      for key, r in self._query.items()},
+            "size": {key: {"value": r.value, "samples": r.samples}
+                     for key, r in self._size.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CostCalibration":
+        calibration = cls(
+            smoothing=float(payload.get("smoothing", 0.5)),
+            min_factor=float(payload.get("min_factor", 0.01)),
+            max_factor=float(payload.get("max_factor", 100.0)),
+        )
+        for attr, bucket in (("_query", "query"), ("_size", "size")):
+            store: dict[str, _Ratio] = getattr(calibration, attr)
+            for key, record in payload.get(bucket, {}).items():
+                store[key] = _Ratio(value=float(record["value"]),
+                                    samples=int(record.get("samples", 1)))
+        return calibration
+
+
+# ------------------------------------------------------------------- engine
+@dataclass(frozen=True)
+class LifecycleConfig:
+    """Tunable knobs of the adaptive lifecycle loop.
+
+    Attributes:
+        budget_edges: Space budget (estimated edges) the knapsack selects
+            under — the same unit :meth:`Kaskade.select_views` uses.
+        adapt_every: Queries observed between automatic adaptation cycles.
+        decay: Per-cycle multiplier on every template's frequency.
+        max_log_entries: Bound on distinct templates the log retains.
+        min_count: Templates decayed below this frequency leave the log.
+        smoothing: EWMA smoothing for observed work and calibration ratios.
+        enforce_actual_budget: After materialization, evict lowest
+            benefit-per-edge views while the catalog's *actual* edge total
+            exceeds the budget (the estimate-based knapsack cannot see actual
+            sizes, the calibrated estimator only converges toward them).
+    """
+
+    budget_edges: float
+    adapt_every: int = 32
+    decay: float = 0.5
+    max_log_entries: int = 256
+    min_count: float = 0.05
+    smoothing: float = 0.5
+    enforce_actual_budget: bool = True
+
+
+@dataclass(frozen=True)
+class EvictionRecord:
+    """One view dropped by an adaptation cycle."""
+
+    name: str
+    reason: str
+    actual_edges: int = 0
+
+    def __post_init__(self) -> None:
+        if self.reason not in EVICTION_REASONS:
+            raise ValueError(
+                f"unknown eviction reason {self.reason!r}; expected one of "
+                f"{EVICTION_REASONS}")
+
+
+@dataclass
+class AdaptationReport:
+    """What one :meth:`ViewLifecycleEngine.adapt` cycle decided."""
+
+    cycle: int
+    queries_observed: int
+    selection: SelectionResult | None = None
+    materialized: list[str] = field(default_factory=list)
+    evicted: list[EvictionRecord] = field(default_factory=list)
+    kept: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.materialized or self.evicted)
+
+    @property
+    def evicted_names(self) -> list[str]:
+        return [record.name for record in self.evicted]
+
+
+class ViewLifecycleEngine:
+    """Online mining → selection → materialization → eviction, with feedback.
+
+    Created through :meth:`Kaskade.enable_adaptive`; every
+    :meth:`Kaskade.execute` then feeds the engine one
+    :class:`~repro.query.stats.WorkFeedback` sample, and after every
+    ``config.adapt_every`` samples the engine re-runs frequency-weighted view
+    selection over the logged templates, materializes newly winning views and
+    evicts the rest (catalog + persistent store + CSR snapshots, via
+    :meth:`Kaskade.evict_view`).
+    """
+
+    STATE_KEY = "lifecycle"
+
+    def __init__(self, kaskade: "Kaskade", config: LifecycleConfig) -> None:
+        if config.adapt_every < 1:
+            raise ValueError(f"adapt_every must be >= 1, got {config.adapt_every}")
+        if config.budget_edges < 0:
+            raise ValueError(f"budget_edges must be >= 0, got {config.budget_edges}")
+        self.kaskade = kaskade
+        self.config = config
+        self.log = WorkloadLog(decay=config.decay, max_entries=config.max_log_entries,
+                               min_count=config.min_count, smoothing=config.smoothing)
+        self.calibration = CostCalibration(smoothing=config.smoothing)
+        self.cycle = 0
+        self.queries_since_adapt = 0
+        self.reports: list[AdaptationReport] = []
+        # Let the advisor learn from views that are already materialized.
+        for view in kaskade.catalog:
+            self._observe_view_size(view)
+
+    # ------------------------------------------------------------- observing
+    def observe(self, query: GraphQuery,
+                outcome: "QueryOutcome") -> AdaptationReport | None:
+        """Fold one executed query into the log; adapt when the cadence says so.
+
+        Returns the adaptation report when this observation triggered a
+        cycle, None otherwise.
+        """
+        feedback = outcome.feedback()
+        estimated = self.kaskade.cost_model.query_cost_model.estimate_total(query)
+        self.log.record(query, feedback.observed_work, estimated_cost=estimated)
+        # Calibrate on base-graph executions only: a view-served query's work
+        # says how good the *view* is, not how expensive the template is on
+        # the base graph — folding it in would spiral the template's cost
+        # estimate down and un-select the very view that produced it.
+        if feedback.used_view is None:
+            self.calibration.observe_query(query, estimated, feedback.observed_work)
+        self.queries_since_adapt += 1
+        if self.queries_since_adapt >= self.config.adapt_every:
+            return self.adapt()
+        return None
+
+    # -------------------------------------------------------------- adapting
+    def adapt(self) -> AdaptationReport:
+        """Run one full lifecycle cycle against the current workload log."""
+        start = time.perf_counter()
+        self.cycle += 1
+        report = AdaptationReport(cycle=self.cycle,
+                                  queries_observed=self.queries_since_adapt)
+        self.queries_since_adapt = 0
+        workload = self.log.workload()
+        if workload:
+            selection = self.kaskade.selector.select(
+                workload, self.config.budget_edges, self.log.weights())
+            report.selection = selection
+            desired = {a.candidate.definition.signature(): a for a in selection.selected}
+        else:
+            desired = {}
+
+        # Evict first (frees budget before new materializations), then add.
+        for view in list(self.kaskade.catalog):
+            signature = view.definition.signature()
+            if signature in desired:
+                report.kept.append(view.definition.name)
+                continue
+            self.kaskade.evict_view(view.definition)
+            report.evicted.append(EvictionRecord(name=view.definition.name,
+                                                 reason="unselected",
+                                                 actual_edges=view.num_edges))
+        for signature, assessment in desired.items():
+            if self.kaskade.catalog.contains(assessment.candidate.definition):
+                continue
+            view = self.kaskade.materialize_view(assessment.candidate)
+            self._observe_view_size(view)
+            report.materialized.append(view.definition.name)
+        if self.config.enforce_actual_budget and desired:
+            self._enforce_actual_budget(report, desired)
+
+        for query in workload:
+            self.kaskade._save_rewrites(
+                query, report.selection.rewrites_for(query)
+                if report.selection is not None else [])
+        self.log.decay_all()
+        report.elapsed_seconds = time.perf_counter() - start
+        self.reports.append(report)
+        return report
+
+    def _enforce_actual_budget(self, report: AdaptationReport, desired) -> None:
+        """Benefit-per-edge eviction while actual catalog size exceeds budget."""
+        budget = self.config.budget_edges
+
+        def benefit_per_edge(view: "MaterializedView") -> float:
+            assessment = desired.get(view.definition.signature())
+            benefit = assessment.total_improvement if assessment is not None else 0.0
+            return benefit / max(view.num_edges, 1)
+
+        while self.kaskade.catalog.total_size() > budget and len(self.kaskade.catalog):
+            victim = min(self.kaskade.catalog, key=benefit_per_edge)
+            self.kaskade.evict_view(victim.definition)
+            report.kept = [name for name in report.kept if name != victim.definition.name]
+            report.materialized = [name for name in report.materialized
+                                   if name != victim.definition.name]
+            report.evicted.append(EvictionRecord(name=victim.definition.name,
+                                                 reason="budget",
+                                                 actual_edges=victim.num_edges))
+
+    def _observe_view_size(self, view: "MaterializedView") -> None:
+        # Ratios are observed against the *raw* (uncalibrated) estimate:
+        # observing against the calibrated one would feed the factor back
+        # into its own denominator (fixed point sqrt(actual/raw), not
+        # actual/raw) and degrade a correct first observation.
+        raw = self.kaskade.cost_model.estimator.raw_estimate(view.definition).edges
+        self.calibration.observe_view_size(view.definition, raw,
+                                           view.graph.num_edges)
+
+    # ----------------------------------------------------------- durability
+    def state_dict(self) -> dict[str, Any]:
+        """Serializable advisor state: workload log + calibration + cadence."""
+        return {
+            "version": 1,
+            "cycle": self.cycle,
+            "queries_since_adapt": self.queries_since_adapt,
+            "log": self.log.to_dict(),
+            "calibration": self.calibration.to_dict(),
+        }
+
+    def load_state(self, payload: Mapping[str, Any]) -> None:
+        """Restore advisor state previously produced by :meth:`state_dict`."""
+        self.cycle = int(payload.get("cycle", 0))
+        self.queries_since_adapt = int(payload.get("queries_since_adapt", 0))
+        self.log = WorkloadLog.from_dict(payload.get("log", {}))
+        restored = CostCalibration.from_dict(payload.get("calibration", {}))
+        # Swap contents, not the object: Kaskade's cost model and estimators
+        # hold a reference to the calibration created at enable time.
+        self.calibration._query = restored._query
+        self.calibration._size = restored._size
+        self.calibration.smoothing = restored.smoothing
+        self.calibration.min_factor = restored.min_factor
+        self.calibration.max_factor = restored.max_factor
+
+    def checkpoint(self, store) -> None:
+        """Persist the advisor state into a :class:`PersistentViewStore`."""
+        store.save_state(self.STATE_KEY, self.state_dict())
+
+    def restore(self, store) -> bool:
+        """Reload advisor state from ``store``; returns whether any was found."""
+        payload = store.load_state(self.STATE_KEY)
+        if payload is None:
+            return False
+        self.load_state(payload)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ViewLifecycleEngine(cycle={self.cycle}, templates={len(self.log)}, "
+            f"since_adapt={self.queries_since_adapt}/{self.config.adapt_every})"
+        )

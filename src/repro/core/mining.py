@@ -22,7 +22,7 @@ provides that library as :class:`~repro.inference.Rule` objects:
 
 from __future__ import annotations
 
-from repro.graph.schema import EdgeType, GraphSchema
+from repro.graph.schema import GraphSchema
 from repro.inference.terms import Rule, rule, struct, var
 
 

@@ -15,20 +15,17 @@ the original by construction.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.core.templates import ViewCandidate
 from repro.errors import ViewError
 from repro.graph.schema import GraphSchema
 from repro.query.ast import (
-    Condition,
     EdgePattern,
     GraphQuery,
     NodePattern,
     PathPattern,
-    ReturnItem,
 )
 from repro.views.definitions import ConnectorView, SummarizerView
 
@@ -172,8 +169,6 @@ class QueryRewriter:
             return None
         new_min, new_max = bounds
 
-        source_node = chain.nodes[start]
-        target_node = chain.nodes[end]
         connector_edge = EdgePattern(
             label=view.output_label,
             direction="out",

@@ -45,8 +45,12 @@ class SelectionResult:
         return [assessment.candidate for assessment in self.selected]
 
     def rewrites_for(self, query: GraphQuery) -> list[RewrittenQuery]:
-        """Rewrites of ``query`` that the selected views enable (§V-B byproduct)."""
-        key = query.name or str(id(query))
+        """Rewrites of ``query`` that the selected views enable (§V-B byproduct).
+
+        Keyed by the query's *structural signature*: ``id()`` keys alias after
+        GC reuse and can never match a re-parsed (or unnamed) query object.
+        """
+        key = query.structural_signature()
         rewrites = []
         for assessment in self.selected:
             rewrite = assessment.rewrites.get(key)
@@ -75,7 +79,8 @@ class ViewSelector:
             workload: Queries the views should speed up.
             budget: Space budget in estimated edges.
             query_weights: Optional per-query weights (e.g. relative frequency)
-                applied to each query's improvement, keyed by query name.
+                applied to each query's improvement, keyed by structural query
+                signature (preferred) or by query name.
 
         Raises:
             SelectionError: If the budget is negative.
@@ -138,15 +143,17 @@ class ViewSelector:
                 creation_cost=self.cost_model.creation_cost(representative, size),
             )
             for candidate, query in group:
-                query_key = query.name or str(id(query))
+                query_key = query.structural_signature()
                 rewrite = self.cost_model.rewriter.rewrite(query, candidate)
                 if rewrite is None:
                     continue
                 raw_cost = self.cost_model.query_cost(query)
-                raw_cost *= weights.get(query_key, 1.0)
+                # Weights may be keyed by structural signature (the workload
+                # log's unit) or by query name (the historical public API).
+                raw_cost *= weights.get(query_key, weights.get(query.name, 1.0))
                 rewritten_cost = self.cost_model.rewritten_query_cost(rewrite, size)
                 assessment.benefits.append(ViewBenefit(
-                    query_name=query_key,
+                    query_name=query.name or query_key,
                     raw_cost=raw_cost,
                     rewritten_cost=rewritten_cost,
                 ))

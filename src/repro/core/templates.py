@@ -13,7 +13,7 @@ rewrite hints (which query variables the view's endpoints correspond to).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
 from repro.inference.terms import Rule, Struct, rule, struct, var

@@ -13,7 +13,7 @@ easy to reason about in the cost model (§V-A).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Mapping
+from typing import Any, Iterable, Iterator
 
 from repro.errors import EdgeNotFoundError, GraphError, SchemaError, VertexNotFoundError
 from repro.graph.changelog import ChangeLog, GraphMutation

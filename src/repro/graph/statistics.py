@@ -17,7 +17,7 @@ import math
 import weakref
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 from repro.graph.property_graph import PropertyGraph
 

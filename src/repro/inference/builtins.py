@@ -19,7 +19,6 @@ from repro.inference.terms import (
     Struct,
     Term,
     Var,
-    from_python,
     is_ground,
     iter_list,
     is_list_term,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-from repro.inference.terms import Rule, Struct, Term, fact as make_fact, struct
+from repro.inference.terms import Rule, fact as make_fact
 
 
 class RuleDatabase:

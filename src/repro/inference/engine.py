@@ -19,7 +19,7 @@ returns them as plain Python dictionaries keyed by variable name.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import InferenceError, UnknownPredicateError
 from repro.inference.builtins import BUILTINS, BuiltinContext
@@ -31,7 +31,6 @@ from repro.inference.terms import (
     Struct,
     Term,
     Var,
-    from_python,
     struct,
     to_python,
     variables_in,

@@ -18,7 +18,7 @@ Python lists/tuples into Prolog lists.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Sequence, Union
+from typing import Any, Iterator, Sequence, Union
 
 Term = Union["Var", "Atom", "Struct"]
 

@@ -19,8 +19,8 @@ row set the graph pattern produces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Iterator, Sequence
+from dataclasses import dataclass, replace
+from typing import Any, Iterator
 
 from repro.errors import QueryError
 

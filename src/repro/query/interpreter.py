@@ -22,7 +22,6 @@ from repro.errors import QueryExecutionError
 from repro.graph.property_graph import Vertex, VertexId
 from repro.storage.base import GraphLike
 from repro.query.ast import (
-    Condition,
     EdgePattern,
     GraphQuery,
     NodePattern,

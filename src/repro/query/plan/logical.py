@@ -16,7 +16,7 @@ multi-path binding exists (the seed interpreter's behaviour).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.query.ast import Condition, EdgePattern, GraphQuery

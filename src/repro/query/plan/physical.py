@@ -30,7 +30,6 @@ from repro.graph.property_graph import Vertex, VertexId
 from repro.query.ast import Condition, EdgePattern
 from repro.query.plan.logical import (
     ExpandOp,
-    FilterOp,
     LogicalPlan,
     ScanOp,
     VarExpandOp,

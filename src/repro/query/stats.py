@@ -29,6 +29,23 @@ class ExecutionStats:
         return self.vertices_scanned + self.edges_expanded
 
 
+@dataclass(frozen=True)
+class WorkFeedback:
+    """Execution feedback one query contributes to workload-adaptive tuning.
+
+    Produced by :meth:`~repro.core.kaskade.QueryOutcome.feedback`; consumed by
+    the view lifecycle engine (:mod:`repro.core.lifecycle`), which compares
+    ``observed_work`` against the planned cost to calibrate the advisor's
+    cost model per query template.
+    """
+
+    signature: str
+    observed_work: int
+    planned_cost: float | None = None
+    used_view: str | None = None
+    rows: int = 0
+
+
 @dataclass
 class ExecutionResult:
     """Rows produced by a query plus the work counters.

@@ -66,6 +66,7 @@ class StorageStats:
     dict_served: int = 0
     views_frozen: int = 0
     views_refrozen: int = 0
+    views_dropped: int = 0
     unions_built: int = 0
     union_hits: int = 0
 
@@ -76,6 +77,7 @@ class StorageStats:
             "dict_served": self.dict_served,
             "views_frozen": self.views_frozen,
             "views_refrozen": self.views_refrozen,
+            "views_dropped": self.views_dropped,
             "unions_built": self.unions_built,
             "union_hits": self.union_hits,
         }
@@ -352,6 +354,24 @@ class StorageManager:
             return
         view.store = self.freeze(view.graph)
         self.stats.views_frozen += 1
+
+    def on_dropped(self, view: "MaterializedView") -> None:
+        """Catalog hook: a view was dropped/evicted — release every artifact.
+
+        The view's CSR snapshot is detached and retracted from the shared
+        registry, per-graph freeze bookkeeping is forgotten, cached union
+        graphs built over the view are discarded, and — when a persistent
+        store is attached — the view's on-disk record is deleted so a later
+        catalog restore cannot resurrect it.
+        """
+        view.store = None
+        self.invalidate(view.graph)
+        self._states.pop(id(view.graph), None)
+        self._unions = {key: entry for key, entry in self._unions.items()
+                        if entry.view is not view}
+        if self.persistent is not None:
+            self.persistent.delete_view(view.definition)
+        self.stats.views_dropped += 1
 
     def on_maintained(self, view: "MaterializedView",
                       base_graph: PropertyGraph | None = None) -> None:

@@ -148,6 +148,82 @@ class PersistentViewStore:
         """Drop every stored view."""
         self._write_all({})
 
+    # ------------------------------------------------------------ advisor state
+    def save_state(self, key: str, payload: dict[str, Any]) -> None:
+        """Persist one JSON-serializable advisor-state blob under ``key``.
+
+        State lives next to (but independent of) the view records: the
+        workload-adaptive lifecycle engine checkpoints its workload log and
+        calibration here, so a restarted process re-selects views from the
+        same evidence it had before the restart.  ``clear()``/``save_catalog``
+        do not touch state blobs.
+        """
+        serialized = json.dumps(payload)
+        if self.backend == "sqlite":
+            with closing(self._connect()) as conn, conn:
+                conn.execute(
+                    "INSERT OR REPLACE INTO state (key, payload) VALUES (?, ?)",
+                    (key, serialized),
+                )
+            return
+        states = self._read_states()
+        states[key] = payload
+        self._write_states(states)
+
+    def load_state(self, key: str) -> dict[str, Any] | None:
+        """The state blob stored under ``key``, or None when absent."""
+        if self.backend == "sqlite":
+            if not self.path.exists():
+                return None
+            with closing(self._connect()) as conn, conn:
+                row = conn.execute(
+                    "SELECT payload FROM state WHERE key = ?", (key,)).fetchone()
+            return json.loads(row[0]) if row is not None else None
+        return self._read_states().get(key)
+
+    def delete_state(self, key: str) -> bool:
+        """Remove one state blob; returns whether it was present."""
+        if self.backend == "sqlite":
+            if not self.path.exists():
+                return False
+            with closing(self._connect()) as conn, conn:
+                cursor = conn.execute("DELETE FROM state WHERE key = ?", (key,))
+                return cursor.rowcount > 0
+        states = self._read_states()
+        if key not in states:
+            return False
+        del states[key]
+        self._write_states(states)
+        return True
+
+    def state_keys(self) -> list[str]:
+        """Keys of every stored state blob."""
+        if self.backend == "sqlite":
+            if not self.path.exists():
+                return []
+            with closing(self._connect()) as conn, conn:
+                return [row[0] for row in conn.execute(
+                    "SELECT key FROM state ORDER BY key")]
+        return sorted(self._read_states())
+
+    def _state_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".state.json")
+
+    def _read_states(self) -> dict[str, dict[str, Any]]:
+        path = self._state_path()
+        if not path.exists():
+            return {}
+        with path.open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def _write_states(self, states: dict[str, dict[str, Any]]) -> None:
+        path = self._state_path()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp_path = path.with_name(path.name + ".tmp")
+        with tmp_path.open("w", encoding="utf-8") as handle:
+            json.dump(states, handle)
+        os.replace(tmp_path, path)
+
     # -------------------------------------------------------------- inspection
     def view_names(self) -> list[str]:
         """Names of the stored views (without loading the graphs)."""
@@ -222,5 +298,9 @@ class PersistentViewStore:
         conn.execute(
             "CREATE TABLE IF NOT EXISTS views ("
             "signature TEXT PRIMARY KEY, name TEXT NOT NULL, payload TEXT NOT NULL)"
+        )
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS state ("
+            "key TEXT PRIMARY KEY, payload TEXT NOT NULL)"
         )
         return conn

@@ -10,7 +10,7 @@ and how long materialization took (the measured creation cost).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import ViewError, ViewNotMaterializedError
@@ -118,21 +118,31 @@ class ViewCatalog:
         if self.storage is not None:
             self.storage.on_materialized(view)
 
-    def drop(self, definition: ViewDefinition) -> None:
-        """Remove a view from the catalog.
+    def drop(self, definition: ViewDefinition) -> MaterializedView:
+        """Remove a view from the catalog; returns the dropped view.
+
+        Dropping is *complete*: the attached storage manager (when present)
+        is notified so the view's CSR snapshot leaves both the manager and
+        the cross-manager registry, cached union graphs over the view are
+        discarded, and its persisted artifact is deleted — a later
+        ``restore_views`` can never resurrect an evicted view.
 
         Raises:
             ViewNotMaterializedError: If the view is not in the catalog.
         """
         try:
-            del self._views[definition.signature()]
+            view = self._views.pop(definition.signature())
         except KeyError as exc:
             raise ViewNotMaterializedError(
                 f"view {definition.name!r} is not materialized") from exc
+        if self.storage is not None:
+            self.storage.on_dropped(view)
+        return view
 
     def clear(self) -> None:
-        """Drop every materialized view."""
-        self._views.clear()
+        """Drop every materialized view (completely — see :meth:`drop`)."""
+        for view in list(self._views.values()):
+            self.drop(view.definition)
 
     # ------------------------------------------------------------------- query
     def get(self, definition: ViewDefinition) -> MaterializedView:

@@ -10,7 +10,7 @@ enumerating the qualifying paths and contracting them with
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Callable
 
 from repro.analytics import kernels
 from repro.errors import ViewError

@@ -20,8 +20,8 @@ the Prolog→Cypher translation plays in §V-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
 
 from repro.errors import ViewError
 

@@ -13,6 +13,11 @@ production serving scenario the ROADMAP targets: batches of base-graph
 mutations interleaved with workload queries, with the delta-maintenance
 subsystem (:class:`~repro.views.delta.MaintenanceManager`) keeping the
 connector view fresh between batches instead of re-materializing it.
+
+:func:`run_adaptive_workload` models the other serving axis: the *query mix*
+drifts mid-stream (phases), and the workload-adaptive view lifecycle engine
+(:mod:`repro.core.lifecycle`) re-selects, materializes, and evicts views
+online — compared against freezing the initial selection forever.
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ from repro.storage.base import GraphLike
 from repro.storage.manager import StorageManager
 from repro.views.catalog import MaterializedView, ViewCatalog
 from repro.views.connectors import materialize_connector
-from repro.views.definitions import ConnectorView, keep_types_summarizer
+from repro.views.definitions import ConnectorView
 from repro.views.delta import MaintenanceManager
 from repro.workloads.queries import WorkloadQuery, _result_size, workload_for_dataset
 
@@ -300,6 +305,125 @@ def run_pattern_workload(prepared: PreparedDataset, engine: str = "planner",
             plan_text=outcome.explain(),
         ))
     return records
+
+
+# --------------------------------------------------------------- adaptive mode
+@dataclass(frozen=True)
+class AdaptiveQueryRecord:
+    """One query served during an adaptive (drifting-mix) workload run."""
+
+    dataset: str
+    phase: int
+    index: int
+    query_name: str
+    total_work: int
+    used_view: str | None
+    #: Whether serving this query triggered an adaptation cycle.
+    adapted: bool = False
+
+
+@dataclass
+class AdaptiveRunResult:
+    """Result of one :func:`run_adaptive_workload` pass (one arm of the A/B)."""
+
+    dataset: str
+    adaptive: bool
+    records: list[AdaptiveQueryRecord] = field(default_factory=list)
+    #: Reports of every adaptation cycle (empty for the frozen arm).
+    adaptations: list = field(default_factory=list)
+    initial_views: list[str] = field(default_factory=list)
+    final_views: list[str] = field(default_factory=list)
+
+    @property
+    def total_work(self) -> int:
+        """Total traversal work across every query of every phase."""
+        return sum(record.total_work for record in self.records)
+
+    def phase_work(self, phase: int) -> int:
+        return sum(r.total_work for r in self.records if r.phase == phase)
+
+    @property
+    def evicted_view_names(self) -> list[str]:
+        names: list[str] = []
+        for report in self.adaptations:
+            names.extend(report.evicted_names)
+        return names
+
+    @property
+    def materialized_view_names(self) -> list[str]:
+        names: list[str] = []
+        for report in self.adaptations:
+            names.extend(report.materialized)
+        return names
+
+
+def run_adaptive_workload(graph: PropertyGraph,
+                          phases: Sequence[Sequence[GraphQuery]],
+                          budget_edges: float,
+                          adapt_every: int = 16,
+                          adaptive: bool = True,
+                          initial_selection: bool = True,
+                          engine: str = "planner",
+                          lifecycle_config=None,
+                          kaskade=None) -> AdaptiveRunResult:
+    """Serve a drifting query mix, optionally with the adaptive lifecycle on.
+
+    Both arms of the frozen-vs-adaptive comparison start identically: view
+    selection runs once over the *first* phase's distinct queries under the
+    space budget.  The frozen arm (``adaptive=False``) then serves every
+    phase from that initial catalog; the adaptive arm re-selects every
+    ``adapt_every`` queries from the decayed workload log, materializing
+    newly winning views and evicting the rest.
+
+    Args:
+        graph: Base graph to serve.
+        phases: The query stream, one sequence per phase, executed in order —
+            the mix "flips" at each phase boundary.
+        budget_edges: Space budget (estimated edges) for selection.
+        adapt_every: Queries between adaptation cycles (adaptive arm only).
+        adaptive: Enable the lifecycle engine, or freeze the initial catalog.
+        initial_selection: Run the offline §V-B selection on phase 0's
+            distinct queries before serving (both arms).
+        engine: Execution engine forwarded to :meth:`Kaskade.execute`.
+        lifecycle_config: Optional :class:`~repro.core.lifecycle.LifecycleConfig`
+            overriding ``budget_edges``/``adapt_every``.
+        kaskade: Pre-built :class:`~repro.core.kaskade.Kaskade` to reuse
+            (a fresh one is created when omitted).
+    """
+    from repro.core.kaskade import Kaskade  # deferred: core imports workloads' peers
+
+    if kaskade is None:
+        kaskade = Kaskade(graph, storage=StorageManager())
+    if adaptive:
+        # Enable before the initial selection so the calibrator observes the
+        # actual sizes of the initially materialized views.
+        if lifecycle_config is not None:
+            kaskade.enable_adaptive(config=lifecycle_config)
+        else:
+            kaskade.enable_adaptive(budget_edges, adapt_every=adapt_every)
+    result = AdaptiveRunResult(dataset=graph.name, adaptive=adaptive)
+    if initial_selection and phases:
+        distinct: dict[str, GraphQuery] = {}
+        for query in phases[0]:
+            distinct.setdefault(query.structural_signature(), query)
+        report = kaskade.select_views(list(distinct.values()), budget_edges)
+        result.initial_views = report.view_names
+    for phase_index, phase in enumerate(phases):
+        for index, query in enumerate(phase):
+            outcome = kaskade.execute(query, engine=engine)
+            if outcome.adaptation is not None:
+                result.adaptations.append(outcome.adaptation)
+            result.records.append(AdaptiveQueryRecord(
+                dataset=graph.name,
+                phase=phase_index,
+                index=index,
+                query_name=query.name or query.structural_signature(),
+                total_work=outcome.result.stats.total_work,
+                used_view=outcome.used_view_name,
+                adapted=outcome.adaptation is not None,
+            ))
+    result.final_views = [view.definition.name for view in kaskade.catalog]
+    return result
 
 
 # -------------------------------------------------------------- streaming mode

@@ -7,7 +7,6 @@ import pytest
 from repro.core import (
     Kaskade,
     ViewCostModel,
-    ViewEnumerator,
     ViewSelector,
 )
 from repro.errors import SelectionError

@@ -1,6 +1,5 @@
 """Unit and property tests for view size estimation (Eq. 1-3, §V-A)."""
 
-import math
 
 import pytest
 from hypothesis import given, settings
@@ -159,8 +158,6 @@ class TestViewSizeEstimator:
             estimator.estimate(FakeView())
 
     def test_unknown_source_type_estimates_zero(self):
-        g = ring_graph(5)
-        estimator = ViewSizeEstimator.for_graph(g)
         view = ConnectorView(name="x", connector_kind="k_hop", k=2, source_type="Ghost")
         # The homogeneous branch ignores source types; force heterogeneity.
         g2 = bipartite_lineage(3, 1)

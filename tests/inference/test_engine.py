@@ -10,7 +10,6 @@ from repro.errors import InferenceError, UnknownPredicateError
 from repro.inference import (
     InferenceEngine,
     RuleDatabase,
-    atom,
     fact,
     neg,
     rule,

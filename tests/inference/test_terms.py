@@ -5,7 +5,6 @@ from hypothesis import strategies as st
 
 from repro.inference import (
     Atom,
-    Struct,
     Var,
     atom,
     fact,

@@ -3,7 +3,7 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.inference import atom, from_python, resolve, struct, unify, var, walk
+from repro.inference import atom, resolve, struct, unify, var, walk
 
 
 class TestBasicUnification:

@@ -7,9 +7,7 @@ from repro.query import (
     Condition,
     EdgePattern,
     GraphQuery,
-    NodePattern,
     PathPattern,
-    PropertyRef,
     ReturnItem,
     edge,
     node,

@@ -83,7 +83,6 @@ class TestPlanShape:
         plan = plan_query(lineage, parse_query(
             "MATCH (a:Job)-[:WRITES_TO]->(f:File), (f)-[:IS_READ_BY]->(b:Job) "
             "RETURN a, b"))
-        scans = [op for op in plan.ops if isinstance(op, ScanOp)]
         # Second path joins on the already-bound f: its scan must be a
         # verification of a bound variable, not a fresh label scan.
         bound_vars = set()

@@ -203,6 +203,63 @@ class TestMaintenanceRefreeze:
         assert view.store is None
 
 
+class TestDropHook:
+    def test_on_dropped_releases_snapshot_and_registry(self):
+        from repro.storage.manager import lookup_snapshot
+
+        manager = StorageManager(StoragePolicy(min_edges_to_freeze=1))
+        catalog = ViewCatalog(storage=manager)
+        graph = summarized_provenance_graph(num_jobs=40, seed=7)
+        view = catalog.materialize(graph, job_to_job_connector())
+        view_graph = view.graph
+        assert view.store is not None
+        assert lookup_snapshot(view_graph) is not None
+
+        catalog.drop(view.definition)
+        assert view.store is None
+        assert lookup_snapshot(view_graph) is None
+        assert manager.cached_snapshot(view_graph) is None
+        assert manager.stats.views_dropped == 1
+
+    def test_on_dropped_discards_union_entries(self):
+        manager = StorageManager()
+        catalog = ViewCatalog(storage=manager)
+        graph = summarized_provenance_graph(num_jobs=40, seed=7)
+        view = catalog.materialize(graph, job_to_job_connector())
+        manager.union_for(graph, view)
+        assert manager.stats.unions_built == 1
+        catalog.drop(view.definition)
+        rebuilt = manager.union_for(graph, view)
+        assert rebuilt is not None
+        assert manager.stats.unions_built == 2  # cache entry was discarded
+
+    def test_on_dropped_deletes_persisted_record(self, tmp_path):
+        manager = StorageManager(persist_path=tmp_path / "views.jsonl")
+        catalog = ViewCatalog(storage=manager)
+        graph = summarized_provenance_graph(num_jobs=30, seed=7)
+        view = catalog.materialize(graph, job_to_job_connector())
+        manager.save_catalog(catalog)
+        assert view.definition.name in manager.persistent.view_names()
+        catalog.drop(view.definition)
+        assert view.definition.name not in manager.persistent.view_names()
+        # A later restore cannot resurrect the dropped view.
+        assert len(StorageManager(
+            persist_path=tmp_path / "views.jsonl").load_catalog()) == 0
+
+    def test_clear_notifies_for_every_view(self, tmp_path):
+        manager = StorageManager(persist_path=tmp_path / "views.jsonl")
+        catalog = ViewCatalog(storage=manager)
+        graph = summarized_provenance_graph(num_jobs=30, seed=7)
+        catalog.materialize(graph, job_to_job_connector())
+        from repro.views.definitions import keep_types_summarizer
+        catalog.materialize(graph, keep_types_summarizer(["Job"]))
+        manager.save_catalog(catalog)
+        catalog.clear()
+        assert len(catalog) == 0
+        assert manager.persistent.view_names() == []
+        assert manager.stats.views_dropped == 2
+
+
 class TestUnionCache:
     def _setup(self):
         manager = StorageManager()

@@ -130,6 +130,50 @@ class TestCatalogRoundTrip:
         assert store.load_views() == []
 
 
+class TestAdvisorState:
+    def test_state_round_trip(self, store_path):
+        store = PersistentViewStore(store_path)
+        payload = {"cycle": 3, "entries": [{"signature": "MATCH x", "count": 2.5}]}
+        store.save_state("lifecycle", payload)
+        assert store.load_state("lifecycle") == payload
+        assert store.state_keys() == ["lifecycle"]
+
+    def test_state_upsert_and_delete(self, store_path):
+        store = PersistentViewStore(store_path)
+        store.save_state("lifecycle", {"cycle": 1})
+        store.save_state("lifecycle", {"cycle": 2})  # upsert
+        assert store.load_state("lifecycle") == {"cycle": 2}
+        assert store.delete_state("lifecycle") is True
+        assert store.delete_state("lifecycle") is False
+        assert store.load_state("lifecycle") is None
+        assert store.state_keys() == []
+
+    def test_missing_state_is_none(self, store_path):
+        store = PersistentViewStore(store_path)
+        assert store.load_state("nope") is None
+        assert store.state_keys() == []
+
+    def test_state_survives_catalog_clear(self, store_path):
+        """clear()/save_catalog replace views, never advisor state."""
+        graph = summarized_provenance_graph(num_jobs=20, seed=3)
+        catalog = ViewCatalog()
+        catalog.materialize(graph, job_to_job_connector())
+        store = PersistentViewStore(store_path)
+        store.save_catalog(catalog)
+        store.save_state("lifecycle", {"cycle": 7})
+        store.clear()
+        store.save_catalog(ViewCatalog())
+        assert store.load_state("lifecycle") == {"cycle": 7}
+
+    def test_independent_keys(self, store_path):
+        store = PersistentViewStore(store_path)
+        store.save_state("a", {"x": 1})
+        store.save_state("b", {"y": [1, 2]})
+        assert store.load_state("a") == {"x": 1}
+        assert store.load_state("b") == {"y": [1, 2]}
+        assert store.state_keys() == ["a", "b"]
+
+
 class TestRewriteEquivalenceAfterReload:
     def test_reloaded_catalog_produces_identical_query_results(self, store_path):
         """materialize -> save -> reload -> byte-identical rewrite answers."""

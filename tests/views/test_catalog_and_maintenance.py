@@ -58,6 +58,13 @@ class TestCatalog:
         catalog.clear()
         assert len(catalog) == 0
 
+    def test_drop_returns_the_dropped_view(self, lineage):
+        catalog = ViewCatalog()
+        view = catalog.materialize(lineage, job_to_job_connector())
+        dropped = catalog.drop(job_to_job_connector())
+        assert dropped is view
+        assert not catalog.contains(job_to_job_connector())
+
     def test_connectors_and_summarizers_split(self, lineage):
         catalog = ViewCatalog()
         catalog.materialize(lineage, job_to_job_connector())

@@ -196,7 +196,7 @@ class TestRefreshStrategies:
         """Disabling change capture must not let refresh() mark stale views fresh."""
         graph = make_lineage(num_jobs=10, num_files=10, num_edges=30, seed=15)
         catalog = ViewCatalog()
-        view = catalog.materialize(graph, job_to_job_connector())
+        catalog.materialize(graph, job_to_job_connector())
         manager = MaintenanceManager(graph, catalog)
         graph.disable_change_capture()
         mutate(graph, random.Random(16), steps=10)  # unobserved mutations

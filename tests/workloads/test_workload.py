@@ -110,3 +110,62 @@ class TestRunner:
     def test_speedup_none_for_missing_query(self, prov_prepared):
         result = run_workload(prov_prepared, query_ids=["Q5"])
         assert result.speedup("Q4") is None
+
+
+class TestAdaptiveWorkload:
+    BLAST = (
+        "MATCH (q_j1:Job)-[:WRITES_TO]->(q_f1:File), "
+        "(q_f1:File)-[r*0..8]->(q_f2:File), "
+        "(q_f2:File)-[:IS_READ_BY]->(q_j2:Job) "
+        "RETURN q_j1 AS A, q_j2 AS B"
+    )
+    FANOUT = (
+        "MATCH (q_f1:File)-[:IS_READ_BY]->(q_j:Job), "
+        "(q_j:Job)-[:WRITES_TO]->(q_f2:File) "
+        "RETURN q_f1 AS A, q_f2 AS B"
+    )
+
+    def _phases(self):
+        from repro.query import parse_query
+
+        fanout = parse_query(self.FANOUT, name="fanout")
+        blast = parse_query(self.BLAST, name="blast")
+        return [[fanout] * 4, [blast] * 8]
+
+    def _graph(self):
+        from repro.datasets.provenance import summarized_provenance_graph
+
+        return summarized_provenance_graph(num_jobs=40, seed=7)
+
+    def test_adaptive_run_adapts_and_records(self):
+        from repro.workloads import run_adaptive_workload
+
+        result = run_adaptive_workload(self._graph(), self._phases(),
+                                       budget_edges=10_000, adapt_every=4)
+        assert result.adaptive
+        assert len(result.records) == 12
+        assert {r.phase for r in result.records} == {0, 1}
+        assert result.adaptations, "the cadence must trigger cycles"
+        assert any("job_to_job" in name
+                   for name in result.materialized_view_names)
+        assert any("job_to_job" in name for name in result.final_views)
+        # Once adapted, later blast queries are served by the connector.
+        assert any(r.used_view for r in result.records if r.phase == 1)
+
+    def test_frozen_run_never_adapts(self):
+        from repro.workloads import run_adaptive_workload
+
+        result = run_adaptive_workload(self._graph(), self._phases(),
+                                       budget_edges=10_000, adapt_every=4,
+                                       adaptive=False)
+        assert not result.adaptive
+        assert result.adaptations == []
+        assert result.final_views == result.initial_views
+
+    def test_total_work_sums_records(self):
+        from repro.workloads import run_adaptive_workload
+
+        result = run_adaptive_workload(self._graph(), self._phases(),
+                                       budget_edges=10_000, adapt_every=4)
+        assert result.total_work == sum(r.total_work for r in result.records)
+        assert result.total_work == result.phase_work(0) + result.phase_work(1)
