@@ -20,6 +20,7 @@ This module ties every component of Fig. 2 together around one base graph:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
@@ -101,6 +102,13 @@ class QueryOutcome:
     #: When the adaptive lifecycle engine is enabled and this execution
     #: triggered an adaptation cycle, the cycle's report.
     adaptation: AdaptationReport | None = None
+    #: Whether the plan that ran was served from the plan cache (None under
+    #: the interpreter engine, which never plans).  The serving layer's
+    #: metrics read this to report the plan-cache hit rate.
+    plan_cache_hit: bool | None = None
+    #: Graph ``version`` the query executed against (the pinned snapshot's
+    #: version under MVCC serving, the live graph's otherwise).
+    executed_version: int | None = None
 
     @property
     def used_view_name(self) -> str | None:
@@ -209,6 +217,23 @@ class Kaskade:
         # Workload-adaptive view lifecycle engine (opt-in via
         # enable_adaptive); when attached, every execute() feeds it.
         self.lifecycle: ViewLifecycleEngine | None = None
+        # Optional metrics sink (duck-typed: anything with
+        # observe_query(outcome)); every execute() notifies it.  The serving
+        # layer attaches its registry here so query latency, plan-cache hit
+        # rate, and view hit rate flow out of QueryOutcome without the core
+        # importing the service package.
+        self.metrics = None
+        # Plan-cache hit/miss counters (read by the metrics layer).  Plain
+        # ints updated without a lock: under concurrent readers a lost
+        # increment skews the rate marginally, which is acceptable for
+        # telemetry — the caches themselves are protected below.
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        # Guards cache *mutation* (insert + eviction) in the planner/cost-
+        # model/plan caches.  Lookups stay lock-free dict reads; only the
+        # cold miss path takes the lock, so concurrent snapshot readers never
+        # serialize on cache hits.
+        self._cache_lock = threading.Lock()
 
     # ----------------------------------------------------------------- parsing
     def parse(self, text: str, name: str = "") -> GraphQuery:
@@ -331,9 +356,10 @@ class Kaskade:
     def _save_rewrites(self, query: GraphQuery, rewrites: list[RewrittenQuery]) -> None:
         """Remember selection-time rewrites under the query's structural key."""
         key = query.structural_signature()
-        if key not in self._saved_rewrites and len(self._saved_rewrites) >= _MAX_SAVED_REWRITES:
-            self._saved_rewrites.pop(next(iter(self._saved_rewrites)))
-        self._saved_rewrites[key] = rewrites
+        with self._cache_lock:
+            if key not in self._saved_rewrites and len(self._saved_rewrites) >= _MAX_SAVED_REWRITES:
+                self._saved_rewrites.pop(next(iter(self._saved_rewrites)), None)
+            self._saved_rewrites[key] = rewrites
 
     def rewrite(self, query: GraphQuery) -> RewrittenQuery | None:
         """Find the best view-based rewrite of a query among materialized views (§V-C).
@@ -363,10 +389,14 @@ class Kaskade:
         key = self._graph_key(graph)
         model = self._cost_models.get(key)
         if model is None:
-            if len(self._cost_models) >= _MAX_CACHED_MODELS:
-                self._cost_models.pop(next(iter(self._cost_models)))
             model = QueryCostModel.for_graph(graph)
-            self._cost_models[key] = model
+            with self._cache_lock:
+                existing = self._cost_models.get(key)
+                if existing is not None:
+                    return existing
+                if len(self._cost_models) >= _MAX_CACHED_MODELS:
+                    self._cost_models.pop(next(iter(self._cost_models)), None)
+                self._cost_models[key] = model
         return model
 
     def planner_for(self, graph: GraphLike) -> QueryPlanner:
@@ -378,10 +408,14 @@ class Kaskade:
         key = self._graph_key(graph)
         planner = self._planners.get(key)
         if planner is None:
-            if len(self._planners) >= _MAX_CACHED_MODELS:
-                self._planners.pop(next(iter(self._planners)))
             planner = QueryPlanner(statistics=self.cost_model_for(graph).statistics)
-            self._planners[key] = planner
+            with self._cache_lock:
+                existing = self._planners.get(key)
+                if existing is not None:
+                    return existing
+                if len(self._planners) >= _MAX_CACHED_MODELS:
+                    self._planners.pop(next(iter(self._planners)), None)
+                self._planners[key] = planner
         return planner
 
     def plan_for(self, query: GraphQuery, graph: GraphLike) -> LogicalPlan:
@@ -395,11 +429,33 @@ class Kaskade:
         key = (query.structural_signature(), name, version)
         plan = self._saved_plans.get(key)
         if plan is None:
-            if key not in self._saved_plans and len(self._saved_plans) >= _MAX_SAVED_PLANS:
-                self._saved_plans.pop(next(iter(self._saved_plans)))
             plan = self.planner_for(graph).plan(query)
-            self._saved_plans[key] = plan
+            with self._cache_lock:
+                if key not in self._saved_plans and len(self._saved_plans) >= _MAX_SAVED_PLANS:
+                    self._saved_plans.pop(next(iter(self._saved_plans)), None)
+                self._saved_plans[key] = plan
         return plan
+
+    def plan_cached(self, query: GraphQuery, graph: GraphLike) -> bool:
+        """Whether :meth:`plan_for` would hit the plan cache (no side effects)."""
+        name, version = self._graph_key(graph)
+        return (query.structural_signature(), name, version) in self._saved_plans
+
+    def _count_plan_cache(self, cached: bool | None) -> None:
+        """Tally one *executed query's* cache outcome (not raw lookups: one
+        ``execute()`` calls :meth:`plan_for` more than once internally)."""
+        if cached is None:
+            return
+        if cached:
+            self.plan_cache_hits += 1
+        else:
+            self.plan_cache_misses += 1
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        """Fraction of executed queries whose plan came from the plan cache."""
+        total = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / total if total else 0.0
 
     def _rewrite_cost(self, rewrite: RewrittenQuery) -> float:
         """Planned evaluation cost of a rewrite over its materialized view.
@@ -473,6 +529,12 @@ class Kaskade:
         if use_views and self.auto_refresh and len(self.catalog):
             self.refresh_views()
         base = self.storage.store_for(self.graph)
+        # Sampled *before* planning: the base-plan lookup below populates the
+        # cache within this very call, so a check afterwards would always
+        # report a hit.  "Had we already planned this query shape against
+        # this graph version" is the signal serving metrics want.
+        cached = self.plan_cached(query, base) if engine == "planner" else None
+        self._count_plan_cache(cached)
         base_cost = self.plan_for(query, base).estimated_cost
         rewrite = self.rewrite(query) if use_views else None
         rewrite_cost = self._rewrite_cost(rewrite) if rewrite is not None else None
@@ -486,17 +548,23 @@ class Kaskade:
                                    rewrite=rewrite, plan=plan, base_cost=base_cost,
                                    rewrite_cost=rewrite_cost,
                                    considered_view=considered, engine=engine,
+                                   plan_cache_hit=cached,
+                                   executed_version=getattr(target, "version", None),
                                    elapsed_seconds=time.perf_counter() - start)
         else:
             result, plan = self._run(query, base, engine, max_work)
             outcome = QueryOutcome(query=query, result=result, plan=plan,
                                    base_cost=base_cost, rewrite_cost=rewrite_cost,
                                    considered_view=considered, engine=engine,
+                                   plan_cache_hit=cached,
+                                   executed_version=getattr(base, "version", None),
                                    elapsed_seconds=time.perf_counter() - start)
         # Feed the adaptive lifecycle engine; raw baselines (use_views=False)
         # stay out of the log so A/B comparisons don't skew the mix.
         if self.lifecycle is not None and use_views:
             outcome.adaptation = self.lifecycle.observe(query, outcome)
+        if self.metrics is not None:
+            self.metrics.observe_query(outcome)
         return outcome
 
     def _run(self, query: GraphQuery, target: GraphLike, engine: str,

@@ -85,3 +85,42 @@ class SelectionError(KaskadeError):
 
 class DatasetError(KaskadeError):
     """Raised when a synthetic dataset generator receives invalid parameters."""
+
+
+class ServiceError(KaskadeError):
+    """Base class for errors in the concurrent serving layer (:mod:`repro.service`)."""
+
+
+class StaleSnapshotError(ServiceError):
+    """Raised when a consumer's version fell behind what the system retains.
+
+    Two producers raise it: :meth:`~repro.graph.changelog.ChangeLog.events_since`
+    in strict mode, when the requested delta has been partially evicted from
+    the bounded log (the floor version moved past the consumer); and
+    :meth:`~repro.service.mvcc.SnapshotManager.pin`, when the requested
+    snapshot version has already been reclaimed.  Either way the consumer
+    cannot be served a consistent delta or frozen state for that version and
+    must restart from a retained one.
+    """
+
+    def __init__(self, requested_version: int, floor_version: int,
+                 what: str = "changelog delta") -> None:
+        super().__init__(
+            f"{what} for version {requested_version} is no longer available "
+            f"(floor is {floor_version})")
+        self.requested_version = requested_version
+        self.floor_version = floor_version
+
+
+class AdmissionError(ServiceError):
+    """Raised when admission control sheds a request instead of serving it.
+
+    Carries the machine-readable shed ``reason`` and the suggested
+    ``retry_after_seconds`` the HTTP layer surfaces as a 429 + Retry-After.
+    """
+
+    def __init__(self, reason: str, retry_after_seconds: float = 0.0) -> None:
+        super().__init__(f"request shed by admission control ({reason}); "
+                         f"retry after {retry_after_seconds:.3f}s")
+        self.reason = reason
+        self.retry_after_seconds = retry_after_seconds

@@ -26,6 +26,8 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Any, Iterator
 
+from repro.errors import StaleSnapshotError
+
 #: Event kinds recorded in the log.
 MUTATION_KINDS = ("add_vertex", "remove_vertex", "add_edge", "remove_edge")
 
@@ -123,15 +125,22 @@ class ChangeLog:
         """Whether the log retains every event after ``version``."""
         return version >= self._floor_version
 
-    def events_since(self, version: int) -> list[GraphMutation] | None:
+    def events_since(self, version: int, *,
+                     strict: bool = False) -> list[GraphMutation] | None:
         """Events recorded after graph state ``version``, oldest first.
 
         O(log n + delta): versions are strictly monotonic, so the suffix
-        starts at a bisection point.  Returns None when the requested delta
-        has been partially evicted — the caller must fall back to full
-        recomputation.
+        starts at a bisection point.  When the requested delta has been
+        partially evicted (``version`` fell below :attr:`floor_version`) the
+        log cannot produce a complete replay; by default that returns None —
+        the caller must fall back to full recomputation — while
+        ``strict=True`` raises :class:`~repro.errors.StaleSnapshotError`
+        instead, for consumers (pinned snapshot readers) that must never
+        silently replay an incomplete delta.
         """
         if not self.can_replay_from(version):
+            if strict:
+                raise StaleSnapshotError(version, self._floor_version)
             return None
         index = bisect_right(self._events, version, lo=self._head,
                              key=lambda event: event.version)

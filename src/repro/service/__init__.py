@@ -1,0 +1,65 @@
+"""Concurrent graph service: MVCC snapshots, admission control, metrics, HTTP.
+
+The serving layer for the Kaskade engine.  :class:`SnapshotManager` provides
+snapshot-isolated reads over single-writer commits;
+:class:`AdmissionController` sheds load with budgets, bounded queueing, and
+token buckets; :class:`ServiceMetrics` exposes Prometheus-format telemetry;
+:class:`GraphService` ties them together behind HTTP via
+:class:`KaskadeHTTPServer` (stdlib asyncio) or :func:`create_fastapi_app`.
+"""
+
+from repro.service.admission import (
+    SHED_REASONS,
+    AdmissionController,
+    AdmissionPolicy,
+    Ticket,
+    TokenBucket,
+)
+from repro.service.metrics import (
+    CallbackGauge,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ServiceMetrics,
+)
+from repro.service.mvcc import (
+    MUTATION_OPS,
+    CommitResult,
+    Snapshot,
+    SnapshotManager,
+    SnapshotView,
+)
+from repro.service.server import (
+    GraphService,
+    KaskadeHTTPServer,
+    Response,
+    ServerHandle,
+    create_fastapi_app,
+    serve_in_thread,
+)
+
+__all__ = [
+    "SHED_REASONS",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "Ticket",
+    "TokenBucket",
+    "CallbackGauge",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ServiceMetrics",
+    "MUTATION_OPS",
+    "CommitResult",
+    "Snapshot",
+    "SnapshotManager",
+    "SnapshotView",
+    "GraphService",
+    "KaskadeHTTPServer",
+    "Response",
+    "ServerHandle",
+    "create_fastapi_app",
+    "serve_in_thread",
+]

@@ -1,0 +1,197 @@
+"""Admission control: work budgets, bounded queueing, per-client rate limits.
+
+A serving layer that accepts every request queues unboundedly under
+saturation and collapses (queueing delay grows without limit, every client
+times out).  The classic remedy — and what this module implements — is to
+*shed* load early and explicitly:
+
+* **Concurrency slots** — at most ``max_concurrent`` requests execute at
+  once; up to ``max_queued`` more may wait (bounded FIFO via a condition
+  variable).  Anything beyond that is rejected immediately with
+  :class:`~repro.errors.AdmissionError` (HTTP 429 + Retry-After), keyed on
+  in-flight work rather than connection count.
+* **Per-client token buckets** — each client id refills at
+  ``tokens_per_second`` up to ``bucket_capacity``; an empty bucket sheds the
+  request with the exact time until the next token as the retry hint.
+* **Work budgets** — every admitted query gets a ``max_work`` traversal
+  budget (requested, clamped to ``max_work_ceiling``, defaulting to
+  ``default_max_work``), forwarded to the
+  :class:`~repro.query.plan.PhysicalExecutor` so one pathological query
+  cannot monopolize the process.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import AdmissionError
+
+#: Shed reasons reported in metrics and 429 bodies.
+SHED_REASONS = ("overloaded", "rate_limited", "queue_timeout")
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Tunable admission thresholds.
+
+    Attributes:
+        max_concurrent: Requests allowed to execute simultaneously.
+        max_queued: Requests allowed to wait for a slot; beyond this the
+            request is shed immediately.
+        queue_timeout_seconds: Longest a queued request waits before it is
+            shed (bounds worst-case queueing delay).
+        default_max_work: Traversal-work budget applied when the request
+            does not ask for one (None = unlimited).
+        max_work_ceiling: Upper clamp on any requested budget.
+        tokens_per_second: Per-client token refill rate (None disables
+            rate limiting).
+        bucket_capacity: Per-client burst size.
+        retry_after_seconds: Retry hint for overload sheds.
+    """
+
+    max_concurrent: int = 8
+    max_queued: int = 16
+    queue_timeout_seconds: float = 1.0
+    default_max_work: int | None = 250_000
+    max_work_ceiling: int = 2_000_000
+    tokens_per_second: float | None = None
+    bucket_capacity: float = 20.0
+    retry_after_seconds: float = 0.05
+
+
+class TokenBucket:
+    """A standard token bucket over the monotonic clock."""
+
+    __slots__ = ("rate", "capacity", "tokens", "updated")
+
+    def __init__(self, rate: float, capacity: float) -> None:
+        self.rate = rate
+        self.capacity = capacity
+        self.tokens = capacity
+        self.updated = time.monotonic()
+
+    def try_take(self, amount: float = 1.0) -> float:
+        """Take ``amount`` tokens; returns 0.0 on success, else seconds until
+        enough tokens will have refilled."""
+        now = time.monotonic()
+        self.tokens = min(self.capacity, self.tokens + (now - self.updated) * self.rate)
+        self.updated = now
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return 0.0
+        return (amount - self.tokens) / self.rate if self.rate > 0 else float("inf")
+
+
+@dataclass
+class Ticket:
+    """Proof of admission; hand back to :meth:`AdmissionController.release`."""
+
+    client: str
+    max_work: int | None
+    queued_seconds: float = 0.0
+    released: bool = False
+
+
+class AdmissionController:
+    """Thread-safe admission decisions for the graph service.
+
+    Example:
+        >>> control = AdmissionController(AdmissionPolicy(max_concurrent=1,
+        ...                                               max_queued=0))
+        >>> ticket = control.admit("alice")
+        >>> control.in_flight
+        1
+        >>> control.release(ticket)
+        >>> control.in_flight
+        0
+    """
+
+    def __init__(self, policy: AdmissionPolicy | None = None) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self._condition = threading.Condition()
+        self._in_flight = 0
+        self._queued = 0
+        self._buckets: dict[str, TokenBucket] = {}
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    # ------------------------------------------------------------- properties
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    # --------------------------------------------------------------- budgets
+    def clamp_budget(self, requested: int | None) -> int | None:
+        """The work budget an admitted request actually gets."""
+        policy = self.policy
+        if requested is None:
+            return policy.default_max_work
+        return min(int(requested), policy.max_work_ceiling)
+
+    # -------------------------------------------------------------- admission
+    def admit(self, client: str = "anonymous",
+              max_work: int | None = None) -> Ticket:
+        """Admit a request or shed it.
+
+        Raises:
+            AdmissionError: With a machine-readable reason and a retry-after
+                hint when the request is rate-limited, the queue is full, or
+                the queue wait timed out.
+        """
+        policy = self.policy
+        if policy.tokens_per_second is not None:
+            with self._condition:
+                bucket = self._buckets.get(client)
+                if bucket is None:
+                    bucket = self._buckets[client] = TokenBucket(
+                        policy.tokens_per_second, policy.bucket_capacity)
+                wait = bucket.try_take()
+            if wait > 0:
+                self.shed_total += 1
+                raise AdmissionError("rate_limited", retry_after_seconds=wait)
+
+        queued_start = time.monotonic()
+        with self._condition:
+            if self._in_flight >= policy.max_concurrent:
+                if self._queued >= policy.max_queued:
+                    self.shed_total += 1
+                    raise AdmissionError("overloaded",
+                                         retry_after_seconds=policy.retry_after_seconds)
+                self._queued += 1
+                try:
+                    deadline = queued_start + policy.queue_timeout_seconds
+                    while self._in_flight >= policy.max_concurrent:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._condition.wait(remaining):
+                            if self._in_flight < policy.max_concurrent:
+                                break
+                            self.shed_total += 1
+                            raise AdmissionError(
+                                "queue_timeout",
+                                retry_after_seconds=policy.retry_after_seconds)
+                finally:
+                    self._queued -= 1
+            self._in_flight += 1
+            self.admitted_total += 1
+        return Ticket(client=client, max_work=self.clamp_budget(max_work),
+                      queued_seconds=time.monotonic() - queued_start)
+
+    def release(self, ticket: Ticket) -> None:
+        """Free the slot held by an admitted request (idempotent)."""
+        with self._condition:
+            if ticket.released:
+                return
+            ticket.released = True
+            self._in_flight -= 1
+            self._condition.notify()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"AdmissionController(in_flight={self._in_flight}, "
+                f"queued={self._queued}, admitted={self.admitted_total}, "
+                f"shed={self.shed_total})")

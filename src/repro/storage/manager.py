@@ -21,6 +21,7 @@ codebase should not have to make:
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass
 from pathlib import Path
@@ -120,16 +121,30 @@ _MAX_UNION_ENTRIES = 8
 # never build duplicate CSR snapshots of the same live graph.  Entries are
 # validated against both the graph identity (ids can be recycled after GC)
 # and the graph's version counter, and reaped when the graph is collected.
+# All access goes through _REGISTRY_LOCK: the registry is shared across
+# every manager in the process, and the serving layer freezes from a writer
+# thread while analytics dispatch may freeze from readers — unsynchronized
+# check-then-pop sequences could drop a concurrent publisher's entry or
+# leave two managers each believing their build won.
 _SNAPSHOT_REGISTRY: dict[int, tuple[weakref.ref, CSRGraphStore]] = {}
+_REGISTRY_LOCK = threading.Lock()
 
 
 def _publish_snapshot(graph: PropertyGraph, snapshot: CSRGraphStore) -> None:
     key = id(graph)
 
     def _reap(_ref: weakref.ref, *, _key=key) -> None:
-        _SNAPSHOT_REGISTRY.pop(_key, None)
+        with _REGISTRY_LOCK:
+            _SNAPSHOT_REGISTRY.pop(_key, None)
 
-    _SNAPSHOT_REGISTRY[key] = (weakref.ref(graph, _reap), snapshot)
+    with _REGISTRY_LOCK:
+        current = _SNAPSHOT_REGISTRY.get(key)
+        if (current is not None and current[0]() is graph
+                and current[1].source_version == graph.version):
+            # A concurrent freeze already published a fresh snapshot for this
+            # exact version; keep the first one so every manager adopts it.
+            return
+        _SNAPSHOT_REGISTRY[key] = (weakref.ref(graph, _reap), snapshot)
 
 
 def lookup_snapshot(graph: PropertyGraph) -> CSRGraphStore | None:
@@ -143,20 +158,22 @@ def lookup_snapshot(graph: PropertyGraph) -> CSRGraphStore | None:
     snapshot until the graph dies.
     """
     key = id(graph)
-    entry = _SNAPSHOT_REGISTRY.get(key)
-    if entry is None or entry[0]() is not graph:
-        return None
-    if entry[1].source_version != graph.version:
-        _SNAPSHOT_REGISTRY.pop(key, None)
-        return None
-    return entry[1]
+    with _REGISTRY_LOCK:
+        entry = _SNAPSHOT_REGISTRY.get(key)
+        if entry is None or entry[0]() is not graph:
+            return None
+        if entry[1].source_version != graph.version:
+            _SNAPSHOT_REGISTRY.pop(key, None)
+            return None
+        return entry[1]
 
 
 def discard_snapshot(graph: PropertyGraph) -> None:
     """Drop ``graph``'s published snapshot (explicit memory release)."""
-    entry = _SNAPSHOT_REGISTRY.get(id(graph))
-    if entry is not None and entry[0]() is graph:
-        _SNAPSHOT_REGISTRY.pop(id(graph), None)
+    with _REGISTRY_LOCK:
+        entry = _SNAPSHOT_REGISTRY.get(id(graph))
+        if entry is not None and entry[0]() is graph:
+            _SNAPSHOT_REGISTRY.pop(id(graph), None)
 
 
 class StorageManager:

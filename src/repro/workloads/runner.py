@@ -18,11 +18,19 @@ connector view fresh between batches instead of re-materializing it.
 drifts mid-stream (phases), and the workload-adaptive view lifecycle engine
 (:mod:`repro.core.lifecycle`) re-selects, materializes, and evicts views
 online — compared against freezing the initial selection forever.
+
+:func:`run_concurrent_workload` closes the loop on the concurrent service:
+reader *threads* execute against MVCC-pinned snapshots while a writer thread
+commits mutation batches through the single-writer path, and every read is
+differentially checked against a serial-oracle replay (a frozen
+:meth:`~repro.graph.property_graph.PropertyGraph.copy` per published version,
+queried through the backtracking interpreter).
 """
 
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -564,4 +572,221 @@ def run_streaming_workload(prepared: PreparedDataset,
                             for e in prepared.view.graph.edges()}
         fresh_edges = {(e.source, e.target) for e in fresh.edges()}
         result.final_view_consistent = maintained_edges == fresh_edges
+    return result
+
+
+# -------------------------------------------------------------- concurrent mode
+@dataclass(frozen=True)
+class ConcurrentReadRecord:
+    """One snapshot-pinned read performed by a reader thread."""
+
+    reader: int
+    query_name: str
+    #: Snapshot version the read executed against (``executed_version``).
+    version: int
+    rows: int
+    seconds: float
+    used_view: str | None = None
+
+
+@dataclass
+class ConcurrentRunResult:
+    """Result of one :func:`run_concurrent_workload` pass."""
+
+    dataset: str
+    reads: list[ConcurrentReadRecord] = field(default_factory=list)
+    #: Versions published by the writer, in commit order (head first entry is
+    #: the initial version that existed before the writer started).
+    published_versions: list[int] = field(default_factory=list)
+    #: Human-readable descriptions of every isolation violation found.  Empty
+    #: means every read saw a published version and matched the serial oracle.
+    isolation_violations: list[str] = field(default_factory=list)
+    #: Reads that were differentially replayed against the oracle.
+    oracle_checked: int = 0
+    commit_errors: list[str] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.isolation_violations
+
+    @property
+    def versions_observed(self) -> list[int]:
+        return sorted({record.version for record in self.reads})
+
+
+def generate_mutation_ops(graph: PropertyGraph, count: int, rng: random.Random,
+                          remove_fraction: float = 0.3) -> list[dict]:
+    """Build ``count`` schema-respecting edge-mutation *op dicts*.
+
+    The service-level twin of :func:`generate_edge_mutations`: instead of
+    mutating ``graph`` directly it emits ``{"op": ...}`` dicts for
+    :meth:`~repro.service.mvcc.SnapshotManager.commit`, generated against the
+    graph's current state (call it from the writer thread, between commits).
+    """
+    ops: list[dict] = []
+    pool = list(graph.edges())
+    type_ids: dict[str, list] = {}
+    for _ in range(count):
+        if not pool:
+            break
+        if rng.random() < remove_fraction:
+            index = rng.randrange(len(pool))
+            pool[index], pool[-1] = pool[-1], pool[index]
+            victim = pool.pop()
+            ops.append({"op": "remove_edge", "edge_id": victim.id})
+            continue
+        template = rng.choice(pool)
+        source_type = graph.vertex(template.source).type
+        target_type = graph.vertex(template.target).type
+        for vertex_type in (source_type, target_type):
+            if vertex_type not in type_ids:
+                type_ids[vertex_type] = graph.vertex_ids(vertex_type)
+        source = rng.choice(type_ids[source_type])
+        target = rng.choice(type_ids[target_type])
+        if source == target:
+            continue
+        ops.append({"op": "add_edge", "source": source, "target": target,
+                    "label": template.label})
+    return ops
+
+
+def _normalize_rows(rows: Sequence) -> list[str]:
+    """Order-insensitive, hash-free row multiset (rows may hold dicts)."""
+    return sorted(repr(row) for row in rows)
+
+
+def run_concurrent_workload(graph: PropertyGraph,
+                            queries: Sequence[GraphQuery],
+                            num_readers: int = 4,
+                            num_batches: int = 6,
+                            mutations_per_batch: int = 20,
+                            reads_per_reader: int = 12,
+                            seed: int = 17,
+                            remove_fraction: float = 0.3,
+                            use_views: bool = False,
+                            max_work: int | None = None,
+                            verify_oracle: bool = True,
+                            kaskade=None) -> ConcurrentRunResult:
+    """Readers on pinned snapshots vs a committing writer, oracle-checked.
+
+    One writer thread pushes ``num_batches`` mutation batches through
+    :meth:`~repro.service.mvcc.SnapshotManager.commit` while ``num_readers``
+    threads concurrently pin snapshots and execute queries against the frozen
+    stores.  Snapshot isolation is then asserted two ways:
+
+    1. **Published versions only** — every read's ``executed_version`` must be
+       one of the versions the writer actually published (or the initial
+       head); a reader can never observe a half-applied batch.
+    2. **Serial-oracle equality** — the writer snapshots a
+       :meth:`~repro.graph.property_graph.PropertyGraph.copy` of the base
+       graph at every published version; afterwards each distinct
+       ``(version, query)`` read is replayed serially through the
+       backtracking interpreter on that copy, and the row multisets must
+       match exactly.
+
+    Violations are *collected* (not raised) in
+    :attr:`ConcurrentRunResult.isolation_violations` so tests can report all
+    of them at once.
+
+    Args:
+        graph: Base graph to serve (mutated by the writer's commits).
+        queries: Parsed pattern queries the readers draw from.
+        use_views: Let snapshot reads use captured view rewrites (needs a
+            ``kaskade`` with a populated catalog to have any effect).
+        verify_oracle: Run the serial interpreter replay (pass False for
+            pure throughput runs — e.g. benchmarks).
+        kaskade: Pre-built :class:`~repro.core.kaskade.Kaskade` to reuse.
+    """
+    from repro.core.kaskade import Kaskade  # deferred: core imports workloads' peers
+    from repro.query.executor import QueryExecutor
+    from repro.service.mvcc import SnapshotManager
+
+    if not queries:
+        raise ValueError("run_concurrent_workload needs at least one query")
+    if kaskade is None:
+        kaskade = Kaskade(graph, storage=StorageManager())
+    manager = SnapshotManager(kaskade, max_retained=max(4, num_batches + 2))
+    result = ConcurrentRunResult(dataset=graph.name)
+    result.published_versions.append(manager.head_version())
+
+    # Serial oracle: a frozen deep copy of the base graph per published
+    # version.  Only the writer thread touches it (and the live graph).
+    oracle: dict[int, PropertyGraph] = {}
+    if verify_oracle:
+        oracle[manager.head_version()] = graph.copy()
+    writer_rng = random.Random(seed)
+    reads_lock = threading.Lock()
+    stop = threading.Event()
+
+    def writer() -> None:
+        try:
+            for _ in range(num_batches):
+                ops = generate_mutation_ops(graph, mutations_per_batch,
+                                            writer_rng,
+                                            remove_fraction=remove_fraction)
+                commit = manager.commit(ops)
+                result.commit_errors.extend(commit.errors)
+                result.published_versions.append(commit.version)
+                if verify_oracle and commit.version not in oracle:
+                    oracle[commit.version] = graph.copy()
+                time.sleep(0.001)  # let readers interleave between batches
+        finally:
+            stop.set()
+
+    def reader(reader_id: int) -> None:
+        rng = random.Random(seed + 1000 + reader_id)
+        for _ in range(reads_per_reader):
+            query = rng.choice(list(queries))
+            start = time.perf_counter()
+            outcome = manager.execute(query, max_work=max_work,
+                                      use_views=use_views)
+            record = ConcurrentReadRecord(
+                reader=reader_id,
+                query_name=query.name or query.structural_signature(),
+                version=outcome.executed_version,
+                rows=len(outcome.result.rows),
+                seconds=time.perf_counter() - start,
+                used_view=outcome.used_view_name,
+            )
+            with reads_lock:
+                result.reads.append(record)
+                # Keep the *observed rows* for the differential check without
+                # holding them on the frozen record (they can be large).
+                _observed.setdefault((record.version, record.query_name),
+                                     _normalize_rows(outcome.result.rows))
+            if stop.is_set() and rng.random() < 0.25:
+                break  # some readers finish early; others outlive the writer
+
+    _observed: dict[tuple[int, str], list[str]] = {}
+    query_by_name = {(q.name or q.structural_signature()): q for q in queries}
+    threads = [threading.Thread(target=writer, name="concurrent-writer")]
+    threads.extend(threading.Thread(target=reader, args=(i,),
+                                    name=f"concurrent-reader-{i}")
+                   for i in range(num_readers))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    published = set(result.published_versions)
+    for record in result.reads:
+        if record.version not in published:
+            result.isolation_violations.append(
+                f"reader {record.reader} observed unpublished version "
+                f"{record.version} (published: {sorted(published)})")
+
+    if verify_oracle:
+        for (version, query_name), observed in sorted(_observed.items()):
+            frozen = oracle.get(version)
+            query = query_by_name.get(query_name)
+            if frozen is None or query is None:
+                continue  # unpublished version: already reported above
+            replay = QueryExecutor(frozen, engine="interpreter").execute(query)
+            expected = _normalize_rows(replay.rows)
+            result.oracle_checked += 1
+            if observed != expected:
+                result.isolation_violations.append(
+                    f"rows diverge from serial oracle at version {version} "
+                    f"for {query_name}: {len(observed)} observed vs "
+                    f"{len(expected)} expected")
     return result

@@ -49,6 +49,67 @@ class TestChangeLogUnit:
         assert log.events_since(1) is None
 
 
+class TestStrictModeAndFloorEdges:
+    """Typed staleness + eviction-at-floor edge cases (serving-layer contract)."""
+
+    def test_strict_raises_typed_error_below_floor(self):
+        from repro.errors import StaleSnapshotError
+
+        log = ChangeLog(capacity=10, start_version=5)
+        with pytest.raises(StaleSnapshotError) as excinfo:
+            log.events_since(3, strict=True)
+        assert excinfo.value.requested_version == 3
+        assert excinfo.value.floor_version == 5
+
+    def test_strict_matches_lenient_when_replayable(self):
+        log = ChangeLog(capacity=10, start_version=0)
+        log.record(GraphMutation(version=1, kind="add_vertex", vertex_id="x"))
+        assert log.events_since(0, strict=True) == log.events_since(0)
+
+    def test_strict_after_capacity_eviction(self):
+        from repro.errors import StaleSnapshotError
+
+        log = ChangeLog(capacity=2, start_version=0)
+        for version in (1, 2, 3):
+            log.record(GraphMutation(version=version, kind="add_vertex",
+                                     vertex_id=version))
+        # Floor moved to 1 by eviction: replay from 0 is typed-stale ...
+        with pytest.raises(StaleSnapshotError):
+            log.events_since(0, strict=True)
+        # ... while replay exactly at the floor still works.
+        assert [e.version for e in log.events_since(1, strict=True)] == [2, 3]
+
+    def test_events_exactly_at_floor_after_truncate(self):
+        log = ChangeLog(capacity=10, start_version=0)
+        for version in (1, 2, 3, 4):
+            log.record(GraphMutation(version=version, kind="add_vertex",
+                                     vertex_id=version))
+        log.truncate_before(3)
+        assert log.floor_version == 3
+        assert log.can_replay_from(3)
+        assert not log.can_replay_from(2)
+        assert [e.version for e in log.events_since(3, strict=True)] == [4]
+
+    def test_truncate_everything_leaves_empty_replayable_head(self):
+        log = ChangeLog(capacity=10, start_version=0)
+        for version in (1, 2):
+            log.record(GraphMutation(version=version, kind="add_vertex",
+                                     vertex_id=version))
+        log.truncate_before(2)
+        assert len(log) == 0
+        assert log.events_since(2, strict=True) == []
+        # Recording resumes cleanly above the advanced floor.
+        log.record(GraphMutation(version=3, kind="add_vertex", vertex_id="z"))
+        assert [e.version for e in log.events_since(2)] == [3]
+
+    def test_error_message_names_versions(self):
+        from repro.errors import StaleSnapshotError
+
+        log = ChangeLog(capacity=4, start_version=10)
+        with pytest.raises(StaleSnapshotError, match="7.*floor is 10"):
+            log.events_since(7, strict=True)
+
+
 class TestPropertyGraphCapture:
     def test_disabled_by_default(self, graph):
         assert graph.changelog is None

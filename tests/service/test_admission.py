@@ -1,0 +1,150 @@
+"""AdmissionController: budgets, bounded queueing, token buckets, shedding."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.service.admission import (
+    SHED_REASONS,
+    AdmissionController,
+    AdmissionPolicy,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=1000.0, capacity=2.0)
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() == 0.0
+        wait = bucket.try_take()
+        assert wait > 0.0
+        time.sleep(wait + 0.005)
+        assert bucket.try_take() == 0.0
+
+    def test_zero_rate_never_refills(self):
+        bucket = TokenBucket(rate=0.0, capacity=1.0)
+        assert bucket.try_take() == 0.0
+        assert bucket.try_take() == float("inf")
+
+
+class TestBudgets:
+    def test_default_and_ceiling(self):
+        control = AdmissionController(AdmissionPolicy(
+            default_max_work=1000, max_work_ceiling=5000))
+        assert control.clamp_budget(None) == 1000
+        assert control.clamp_budget(200) == 200
+        assert control.clamp_budget(10**9) == 5000
+
+    def test_ticket_carries_clamped_budget(self):
+        control = AdmissionController(AdmissionPolicy(max_work_ceiling=100))
+        ticket = control.admit("c", max_work=10**6)
+        assert ticket.max_work == 100
+        control.release(ticket)
+
+
+class TestSlotsAndQueue:
+    def test_sheds_when_queue_full(self):
+        control = AdmissionController(AdmissionPolicy(max_concurrent=1,
+                                                      max_queued=0))
+        first = control.admit("a")
+        with pytest.raises(AdmissionError) as excinfo:
+            control.admit("b")
+        assert excinfo.value.reason == "overloaded"
+        assert excinfo.value.reason in SHED_REASONS
+        assert excinfo.value.retry_after_seconds > 0
+        control.release(first)
+        # Slot freed: admission works again.
+        control.release(control.admit("b"))
+
+    def test_queued_request_gets_freed_slot(self):
+        control = AdmissionController(AdmissionPolicy(
+            max_concurrent=1, max_queued=4, queue_timeout_seconds=5.0))
+        first = control.admit("a")
+        admitted = []
+
+        def waiter():
+            ticket = control.admit("b")
+            admitted.append(ticket)
+            control.release(ticket)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        deadline = time.monotonic() + 2.0
+        while control.queued == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert control.queued == 1
+        control.release(first)
+        thread.join(timeout=2.0)
+        assert len(admitted) == 1
+        assert admitted[0].queued_seconds > 0.0
+        assert control.in_flight == 0
+
+    def test_queue_timeout_sheds(self):
+        control = AdmissionController(AdmissionPolicy(
+            max_concurrent=1, max_queued=2, queue_timeout_seconds=0.02))
+        first = control.admit("a")
+        start = time.monotonic()
+        with pytest.raises(AdmissionError) as excinfo:
+            control.admit("b")
+        assert excinfo.value.reason == "queue_timeout"
+        assert time.monotonic() - start >= 0.02
+        assert control.queued == 0  # queue count restored after shed
+        control.release(first)
+
+    def test_release_is_idempotent(self):
+        control = AdmissionController()
+        ticket = control.admit("a")
+        control.release(ticket)
+        control.release(ticket)
+        assert control.in_flight == 0
+
+
+class TestRateLimiting:
+    def test_per_client_buckets_are_independent(self):
+        control = AdmissionController(AdmissionPolicy(
+            max_concurrent=100, tokens_per_second=0.001, bucket_capacity=1.0))
+        control.release(control.admit("alice"))
+        with pytest.raises(AdmissionError) as excinfo:
+            control.admit("alice")
+        assert excinfo.value.reason == "rate_limited"
+        assert excinfo.value.retry_after_seconds > 0
+        # A different client still has a full bucket.
+        control.release(control.admit("bob"))
+
+    def test_counters(self):
+        control = AdmissionController(AdmissionPolicy(max_concurrent=1,
+                                                      max_queued=0))
+        ticket = control.admit("a")
+        with pytest.raises(AdmissionError):
+            control.admit("b")
+        control.release(ticket)
+        assert control.admitted_total == 1
+        assert control.shed_total == 1
+
+
+class TestConcurrentAdmission:
+    def test_in_flight_never_exceeds_max_concurrent(self):
+        policy = AdmissionPolicy(max_concurrent=3, max_queued=50,
+                                 queue_timeout_seconds=5.0)
+        control = AdmissionController(policy)
+        peak = [0]
+        peak_lock = threading.Lock()
+
+        def worker():
+            ticket = control.admit("load")
+            with peak_lock:
+                peak[0] = max(peak[0], control.in_flight)
+            time.sleep(0.002)
+            control.release(ticket)
+
+        threads = [threading.Thread(target=worker) for _ in range(20)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert peak[0] <= policy.max_concurrent
+        assert control.in_flight == 0
+        assert control.admitted_total == 20

@@ -304,3 +304,87 @@ class TestUnionCache:
             catalog.drop(view.definition)
             manager.union_for(graph, view)
         assert len(manager._unions) == _MAX_UNION_ENTRIES
+
+
+class TestSnapshotRegistryThreadSafety:
+    """The module-level snapshot registry is shared across StorageManagers and
+    threads (the concurrent service freezes from reader/writer threads)."""
+
+    def test_concurrent_freeze_converges_to_one_snapshot(self):
+        import threading
+
+        graph = big_graph()
+        managers = [StorageManager() for _ in range(8)]
+        results: list[CSRGraphStore] = []
+        barrier = threading.Barrier(len(managers))
+
+        def freeze(manager):
+            barrier.wait()
+            results.append(manager.freeze(graph))
+
+        threads = [threading.Thread(target=freeze, args=(m,)) for m in managers]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == len(managers)
+        # All threads must have adopted a snapshot of the same version; the
+        # registry keeps exactly one entry for the graph.
+        assert {s.source_version for s in results} == {graph.version}
+        from repro.storage.manager import lookup_snapshot
+        assert lookup_snapshot(graph) is not None
+
+    def test_concurrent_freeze_and_mutate_never_serves_stale(self):
+        import threading
+
+        graph = big_graph()
+        manager = StorageManager()
+        jobs = graph.vertex_ids()
+        errors: list[str] = []
+        stop = threading.Event()
+
+        def freezer():
+            while not stop.is_set():
+                version = graph.version
+                snapshot = manager.freeze(graph)
+                # The snapshot can lag or lead the sampled version (the writer
+                # races us) but must always be a self-consistent publication.
+                if snapshot.source_version < version:
+                    errors.append(f"stale: {snapshot.source_version} < {version}")
+
+        def writer():
+            for i in range(50):
+                graph.add_edge(jobs[i % len(jobs)],
+                               jobs[(i + 1) % len(jobs)], "CALLS")
+                manager.invalidate(graph)
+            stop.set()
+
+        threads = [threading.Thread(target=freezer) for _ in range(4)]
+        threads.append(threading.Thread(target=writer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_discard_and_lookup_race_is_safe(self):
+        import threading
+
+        graph = big_graph()
+        manager = StorageManager()
+        manager.freeze(graph)
+        from repro.storage.manager import discard_snapshot, lookup_snapshot
+
+        def churn():
+            for _ in range(200):
+                manager.freeze(graph)
+                discard_snapshot(graph)
+                lookup_snapshot(graph)
+
+        threads = [threading.Thread(target=churn) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Registry ends in a coherent state: a fresh freeze is served again.
+        assert manager.freeze(graph).source_version == graph.version
