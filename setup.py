@@ -3,11 +3,15 @@
 The execution environment has no network access and no ``wheel`` package, so
 PEP 660 editable installs (``pip install -e .``) cannot build editable wheels.
 This shim lets ``python setup.py develop`` (and thus ``pip install -e .
---no-build-isolation`` with legacy fallbacks) work offline; all metadata lives
-in ``pyproject.toml``.
+--no-build-isolation`` with legacy fallbacks) work offline.
+
+``numpy`` powers the vectorized analytics kernels and the ndarray-backed CSR
+snapshots; it is a declared dependency, but every kernel degrades to the
+pure-python loop tier when it is absent (see ``repro/analytics/kernels.py``),
+so the package still imports and passes its differential suite without it.
 """
 
 from setuptools import setup
 
 if __name__ == "__main__":
-    setup()
+    setup(install_requires=["numpy"])

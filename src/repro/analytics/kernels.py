@@ -38,19 +38,41 @@ enough that the one-off freeze (cached per graph version by a shared
 every call onto the dict-store reference implementations — the differential
 escape hatch.
 
+**Execution tiers.**  On an ndarray-backed store the frontier kernels (bulk
+k-hop, BFS levels, blast radius) and label propagation run *vectorized*:
+whole-frontier ``np.repeat``/gather expansion over the CSR ``(offsets,
+targets)`` ndarrays, boolean visited masks, and per-pass segmented majority
+votes — python touches each *hop*, not each edge.  The original index-space
+loop kernels stay verbatim as the second tier: they are the automatic
+fallback when numpy is absent, and :data:`FORCE_LOOPS_ENV` (=``1``) pins
+them explicitly so the three tiers (vectorized / loops / reference) can be
+differentially compared.  Tier decisions are counted in
+:data:`dispatch_counts` and mirrored into any subscribed metrics counter
+(:func:`subscribe_dispatch` — the service's
+``kaskade_kernel_dispatch_total{path=...}``).
+
 Every kernel is differentially pinned, row for row, against the reference
-implementations in ``tests/analytics/test_kernels.py``.
+implementations in ``tests/analytics/test_kernels.py`` and three-way
+(vectorized == loops == reference) in ``tests/analytics/test_vectorized.py``.
 """
 
 from __future__ import annotations
 
 import os
+import threading
+import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+try:  # pragma: no cover - exercised via forced-loop differential tests
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships in CI; loops fallback
+    _np = None
+
 from repro.graph.property_graph import PropertyGraph, VertexId
 from repro.storage.base import GraphLike, underlying_graph
-from repro.storage.csr import CSRGraphStore
+from repro.storage import csr as _csr
+from repro.storage.csr import CSRGraphStore, gather_slices
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (manager -> views)
     from repro.storage.manager import StorageManager
@@ -65,6 +87,11 @@ AUTO_FREEZE_MIN_EDGES = 4096
 #: Environment variable that forces the reference (dict-store) path when set
 #: to ``1`` — the escape hatch for debugging and differential benchmarking.
 FORCE_REFERENCE_ENV = "ANALYTICS_FORCE_REFERENCE"
+
+#: Environment variable that pins the pure-python loop kernels when set to
+#: ``1`` — the second oracle tier: CSR dispatch still happens, but every
+#: vectorized whole-array path is disabled, exactly as if numpy were absent.
+FORCE_LOOPS_ENV = "ANALYTICS_FORCE_LOOPS"
 
 #: Shared manager backing the auto-freeze dispatch; snapshots are cached per
 #: (graph identity, version) and reaped when the source graph is collected.
@@ -96,18 +123,91 @@ class KernelStats:
             analytics benchmark asserts on.
         passes: Iterations executed (label propagation).
         sources: Traversal sources processed (bulk kernels).
+        batched_ops: Whole-array operations issued by the vectorized tier
+            (one per frontier gather / dedup / vote).  The loop tier never
+            increments it; ``traversal_edges / batched_ops`` is therefore the
+            deterministic interpreter-step reduction the vectorization
+            benchmark gates on — each loop-tier edge is an interpreted
+            iteration, each vectorized batch is one.
     """
 
     traversal_edges: int = 0
     store_reads: int = 0
     passes: int = 0
     sources: int = 0
+    batched_ops: int = 0
 
 
 # ------------------------------------------------------------------ dispatch
 def forced_reference() -> bool:
     """Whether the environment pins analytics to the reference path."""
     return os.environ.get(FORCE_REFERENCE_ENV, "") == "1"
+
+
+def forced_loops() -> bool:
+    """Whether the environment pins the pure-python loop kernels."""
+    return os.environ.get(FORCE_LOOPS_ENV, "") == "1"
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized tier can exist at all in this process."""
+    return _np is not None
+
+
+def vectorized_enabled(store: CSRGraphStore | None = None) -> bool:
+    """Whether vectorized kernels may run (optionally: on ``store``).
+
+    False when numpy is absent, when either escape hatch
+    (:data:`FORCE_LOOPS_ENV`, :data:`FORCE_REFERENCE_ENV`) is set, or when
+    the given store fell back to stdlib ``array`` backing.
+    """
+    if _np is None or forced_loops() or forced_reference():
+        return False
+    return store is None or store.uses_ndarrays
+
+
+def kernel_tier(store: CSRGraphStore) -> str:
+    """``"vectorized"`` or ``"loops"`` — the tier a kernel call will use."""
+    return "vectorized" if vectorized_enabled(store) else "loops"
+
+
+#: Cumulative tier decisions made by this process, by path name.  The
+#: service mirrors these into ``kaskade_kernel_dispatch_total{path=...}``.
+dispatch_counts: dict[str, int] = {"vectorized": 0, "loops": 0, "reference": 0}
+
+_dispatch_lock = threading.Lock()
+_dispatch_subscribers: list[weakref.ref] = []
+
+
+def subscribe_dispatch(counter) -> None:
+    """Mirror every tier decision into ``counter.inc(path=<tier>)``.
+
+    ``counter`` is referenced weakly (a dead metrics registry silently drops
+    out), so subscribing a per-service :class:`~repro.service.metrics.Counter`
+    never pins it.
+    """
+    with _dispatch_lock:
+        _dispatch_subscribers.append(weakref.ref(counter))
+
+
+def note_dispatch(path: str) -> None:
+    """Record a tier decision made outside this module (e.g. the physical
+    executor attributing a query to vectorized / loops / reference)."""
+    _note_dispatch(path)
+
+
+def _note_dispatch(path: str) -> None:
+    with _dispatch_lock:
+        dispatch_counts[path] = dispatch_counts.get(path, 0) + 1
+        if not _dispatch_subscribers:
+            return
+        alive = []
+        for ref in _dispatch_subscribers:
+            counter = ref()
+            if counter is not None:
+                counter.inc(path=path)
+                alive.append(ref)
+        _dispatch_subscribers[:] = alive
 
 
 def _published_snapshot(graph: PropertyGraph) -> CSRGraphStore | None:
@@ -152,6 +252,7 @@ def resolve_store(graph: GraphLike) -> CSRGraphStore | None:
     if ready is not None:
         return ready
     if base is None or base.num_edges < AUTO_FREEZE_MIN_EDGES:
+        _note_dispatch("reference")
         return None
     return _shared_manager().freeze(base)
 
@@ -178,14 +279,17 @@ def resolve_store_for_paths(graph: GraphLike, k: int) -> CSRGraphStore | None:
     if ready is not None:
         return ready
     if base is None:
+        _note_dispatch("reference")
         return None
     edges = base.num_edges
     vertices = base.num_vertices
     if edges < AUTO_FREEZE_MIN_EDGES:
+        _note_dispatch("reference")
         return None
     average_degree = edges / vertices if vertices else 0.0
     estimated_work = edges * (average_degree ** (k - 1))
     if estimated_work < PATH_KERNEL_BUILD_FACTOR * (vertices + edges):
+        _note_dispatch("reference")
         return None
     return _shared_manager().freeze(base)
 
@@ -221,14 +325,9 @@ def _cache(store: CSRGraphStore) -> dict:
 
 
 def _ids_of(store: CSRGraphStore) -> list[VertexId]:
-    """The external id per interned index, cached — ``vertex_ids()`` copies
-    the list on every call, which per-anchor kernels must not pay."""
-    cache = _cache(store)
-    ids = cache.get("ids")
-    if ids is None:
-        ids = store.vertex_ids()
-        cache["ids"] = ids
-    return ids
+    """The external id per interned index — ``vertex_ids()`` copies the list
+    on every call, which per-anchor kernels must not pay."""
+    return store.external_ids
 
 
 def _str_rank(store: CSRGraphStore) -> list[int]:
@@ -246,6 +345,16 @@ def _str_rank(store: CSRGraphStore) -> list[int]:
         for position, index in enumerate(by_str):
             rank[index] = position
         cache["str_rank"] = rank
+    return rank
+
+
+def _str_rank_array(store: CSRGraphStore):
+    """:func:`_str_rank` as a cached int64 ndarray, for whole-array ordering."""
+    cache = _cache(store)
+    rank = cache.get("str_rank_np")
+    if rank is None:
+        rank = _np.asarray(_str_rank(store), dtype=_np.int64)
+        cache["str_rank_np"] = rank
     return rank
 
 
@@ -273,6 +382,11 @@ def _out_edge_pairs(store: CSRGraphStore) -> list[list[tuple[int, object]]]:
     pairs = cache.get("out_edge_pairs")
     if pairs is None:
         offsets, targets = store.csr_arrays("out")
+        if _np is not None and isinstance(targets, _np.ndarray):
+            # Loop consumers index python structures with these values;
+            # numpy scalars would slow every lookup and comparison down.
+            offsets = offsets.tolist()
+            targets = targets.tolist()
         edges = store.aligned_edges("out") or []
         pairs = [list(zip(targets[offsets[i]:offsets[i + 1]],
                           edges[offsets[i]:offsets[i + 1]]))
@@ -301,6 +415,36 @@ def _adjacency_blocks(store: CSRGraphStore, direction: str,
             if lists is not None:
                 blocks.append(lists)
     return blocks
+
+
+def _np_blocks(store: CSRGraphStore, direction: str,
+               edge_labels=None) -> list[tuple]:
+    """ndarray twin of :func:`_adjacency_blocks`: ``(offsets, targets)`` pairs.
+
+    Same direction/label semantics — absent labels contribute nothing — but
+    each block is the contiguous CSR pair the whole-array kernels gather
+    from, with no per-vertex python lists materialized.
+    """
+    if direction not in ("out", "in", "both"):
+        raise ValueError(f"direction must be 'out', 'in' or 'both', got {direction!r}")
+    directions = ("out", "in") if direction == "both" else (direction,)
+    labels = list(edge_labels) if edge_labels is not None else [None]
+    blocks = []
+    for one_direction in directions:
+        for label in labels:
+            arrays = store.csr_ndarrays(one_direction, label)
+            if arrays is not None:
+                blocks.append(arrays)
+    return blocks
+
+
+#: Upper bound on the sources one multi-source batch may advance together.
+#: The bulk sweep's visited state is a sorted array of packed
+#: ``slot * V + vertex`` keys — memory scales with the pairs actually
+#: reached, not ``sources x vertices`` — so the bound only exists to keep
+#: the per-hop sort/merge arrays from growing without limit on huge anchor
+#: sets; per-batch fixed costs argue for large batches.
+BULK_SOURCE_CHUNK = 1 << 16
 
 
 # ------------------------------------------------------------- frontier BFS
@@ -348,6 +492,52 @@ def _bfs_levels(blocks: list[list[list[int]]], source_index: int,
     return levels
 
 
+def _bfs_levels_np(blocks: list[tuple], source_index: int, max_hops: int,
+                   num_vertices: int, stats: KernelStats | None = None
+                   ) -> list:
+    """Vectorized twin of :func:`_bfs_levels` over ndarray CSR blocks.
+
+    Each hop expands the whole frontier with one gather per block, masks
+    already-visited candidates, and deduplicates in *first-discovery order*
+    (``np.unique`` + argsort of first occurrence) — so for single-block
+    traversals the produced levels are element-for-element identical to the
+    loop tier's, which keeps order-sensitive consumers (blast-radius float
+    accumulation) bit-compatible.  ``traversal_edges`` counts every gathered
+    adjacency entry, exactly like the loop tier counts ``len(neighbors)``.
+    """
+    visited = _np.zeros(num_vertices, dtype=bool)
+    visited[source_index] = True
+    levels = [_np.asarray([source_index], dtype=_np.int64)]
+    frontier = levels[0]
+    edges = 0
+    ops = 0
+    for _ in range(max_hops):
+        parts = []
+        for offsets, targets in blocks:
+            values, counts = gather_slices(offsets, targets, frontier)
+            edges += int(counts.sum())
+            ops += 1
+            if values.size:
+                parts.append(values)
+        if not parts:
+            break
+        candidates = parts[0] if len(parts) == 1 else _np.concatenate(parts)
+        candidates = candidates[~visited[candidates]]
+        if candidates.size == 0:
+            break
+        uniq, first_seen = _np.unique(candidates, return_index=True)
+        next_frontier = uniq[_np.argsort(first_seen)]
+        ops += 1
+        visited[next_frontier] = True
+        levels.append(next_frontier)
+        frontier = next_frontier
+    if stats is not None:
+        stats.traversal_edges += edges
+        stats.sources += 1
+        stats.batched_ops += ops
+    return levels
+
+
 def k_hop_neighborhood(store: CSRGraphStore, source: VertexId, max_hops: int,
                        direction: str = "out", edge_labels=None,
                        include_source: bool = False,
@@ -360,9 +550,20 @@ def k_hop_neighborhood(store: CSRGraphStore, source: VertexId, max_hops: int,
         # even an unknown source id comes back without an error.
         return {source: 0} if include_source else {}
     source_index = store.index_of(source)
-    blocks = _adjacency_blocks(store, direction, edge_labels)
     ids = _ids_of(store)
     distances: dict[VertexId, int] = {source: 0} if include_source else {}
+    if vectorized_enabled(store):
+        _note_dispatch("vectorized")
+        blocks_np = _np_blocks(store, direction, edge_labels)
+        if blocks_np:
+            levels = _bfs_levels_np(blocks_np, source_index, max_hops,
+                                    store.num_vertices, stats)
+            for hop in range(1, len(levels)):
+                for index in levels[hop].tolist():
+                    distances[ids[index]] = hop
+        return distances
+    _note_dispatch("loops")
+    blocks = _adjacency_blocks(store, direction, edge_labels)
     if blocks:
         visited = bytearray(store.num_vertices)
         levels = _bfs_levels(blocks, source_index, max_hops, visited, 1, stats)
@@ -381,10 +582,24 @@ def k_hop_reachable(store: CSRGraphStore, source: VertexId, max_hops: int,
     if max_hops < 1:
         return set()
     source_index = store.index_of(source)
+    ids = _ids_of(store)
+    if vectorized_enabled(store):
+        _note_dispatch("vectorized")
+        blocks_np = _np_blocks(store, direction)
+        if not blocks_np:
+            return set()
+        levels = _bfs_levels_np(blocks_np, source_index, max_hops,
+                                store.num_vertices, stats)
+        if len(levels) <= 1:
+            return set()
+        rest = _np.concatenate(levels[1:])
+        if vertex_type is not None:
+            rest = rest[store.type_index_mask(vertex_type)[rest]]
+        return {ids[index] for index in rest.tolist()}
+    _note_dispatch("loops")
     blocks = _adjacency_blocks(store, direction)
     if not blocks:
         return set()
-    ids = _ids_of(store)
     visited = bytearray(store.num_vertices)
     levels = _bfs_levels(blocks, source_index, max_hops, visited, 1, stats)
     mask = _type_mask(store, vertex_type) if vertex_type is not None else None
@@ -422,6 +637,18 @@ def bulk_k_hop_counts(store: CSRGraphStore, max_hops: int,
                           if anchor_type is not None
                           else list(range(store.num_vertices)))
     ids = _ids_of(store)
+    if vectorized_enabled(store):
+        _note_dispatch("vectorized")
+        blocks_np = _np_blocks(store, direction, edge_labels)
+        if not blocks_np:
+            return {ids[index]: 0 for index in anchor_indices}
+        mask_array = (store.type_index_mask(vertex_type)
+                      if vertex_type is not None else None)
+        reached = _bulk_k_hop_counts_np(blocks_np, anchor_indices, max_hops,
+                                        store.num_vertices, mask_array, stats)
+        return dict(zip(map(ids.__getitem__, anchor_indices),
+                        reached.tolist()))
+    _note_dispatch("loops")
     blocks = _adjacency_blocks(store, direction, edge_labels)
     if not blocks:
         return {ids[index]: 0 for index in anchor_indices}
@@ -476,6 +703,107 @@ def bulk_k_hop_counts(store: CSRGraphStore, max_hops: int,
     return counts
 
 
+def _bulk_k_hop_counts_np(blocks: list[tuple], anchor_indices, max_hops: int,
+                          num_vertices: int, mask_array,
+                          stats: KernelStats | None = None):
+    """Whole-array multi-source sweep behind :func:`bulk_k_hop_counts`.
+
+    All sources of a batch advance together: the frontier is a pair of flat
+    arrays ``(source slot, vertex)``, each hop gathers every source's
+    neighbors in one ``np.repeat``-expanded slice per block, and per-pair
+    visited state is a sorted array of packed ``(slot << shift) | vertex``
+    keys whose memory scales with the pairs actually reached (a ``sources x
+    vertices`` bitmap would pay a multi-megabyte memset per batch even when
+    frontiers stay tiny).  The stride is the next power of two above V so
+    packing and unpacking are shifts and masks, never divisions.
+
+    Each hop runs one combined dedup-and-membership pass instead of separate
+    ``np.unique`` / ``searchsorted`` stages (both an order of magnitude
+    slower at typical frontier sizes): candidate keys get a spare low bit of
+    0, visited keys a low bit of 1, and the concatenation is sorted once —
+    numpy's stable timsort merges the pre-sorted visited run in linear time.
+    In the sorted stream a candidate is a *new* discovery exactly when it is
+    the last of its equal-run and not immediately followed by its own
+    visited twin — candidates are even, so a successor exactly one greater
+    can only be the twin (``c[i+1] - c[i]`` being neither 0 nor 1); the
+    stream right-shifted and adjacent-deduped is the next visited array for
+    free.
+    Per-source reach counts come from ``np.bincount`` over the surviving
+    slots.  Returns an int64 array of reach counts aligned with
+    ``anchor_indices``.
+    """
+    n = num_vertices
+    shift = max(int(n - 1).bit_length(), 1)
+    stride = 1 << shift
+    vertex_mask = stride - 1
+    total = len(anchor_indices)
+    anchor_array = _np.asarray(anchor_indices, dtype=_np.int64)
+    reached = _np.zeros(total, dtype=_np.int64)
+    chunk = BULK_SOURCE_CHUNK
+    edges = 0
+    ops = 0
+    for start in range(0, total, chunk):
+        sub = anchor_array[start:start + chunk]
+        batch = len(sub)
+        # Packed keys occupy slot-bits + shift + 1 flag bit; when that fits
+        # an int32 the sort/merge stream moves half the bytes per pass.
+        # The limit lives on the csr module so the widening tests can pin
+        # it low and drive this sweep through the int64 path too.
+        key_dtype = (_np.int32 if (batch << (shift + 1)) <= _csr._INT32_LIMIT
+                     else _np.int64)
+        frontier_slot = _np.arange(batch, dtype=key_dtype)
+        frontier_vertex = sub.astype(key_dtype)
+        # Keys carry a spare low bit: candidates end in 0, visited in 1.
+        # Slots are pre-shifted so np.repeat expands straight into packed
+        # key space — one pass instead of repeat-then-shift-then-or.
+        slot_base = frontier_slot << (shift + 1)
+        visited_keys = _np.sort(slot_base | (frontier_vertex << 1) | 1)
+        for _ in range(max_hops):
+            cand_parts = []
+            for offsets, targets in blocks:
+                values, counts = gather_slices(offsets, targets, frontier_vertex)
+                edges += int(counts.sum())
+                ops += 1
+                if values.size:
+                    cand_parts.append(
+                        _np.repeat(slot_base, counts)
+                        | (values.astype(key_dtype, copy=False) << 1))
+            if not cand_parts:
+                break
+            stream = _np.concatenate(cand_parts + [visited_keys])
+            stream.sort(kind="stable")
+            # The stream is ascending, so "neither duplicate nor twin" is a
+            # single diff > 1 test; survivors that are odd (visited keys
+            # with no candidate twin right behind them) are filtered on the
+            # much smaller extracted array, not the full stream.
+            new = _np.empty(stream.shape, dtype=bool)
+            new[-1] = True
+            _np.greater(_np.diff(stream), 1, out=new[:-1])
+            key = stream[new]
+            key = key[(key & 1) == 0]
+            ops += 1
+            if key.size == 0:
+                break
+            frontier_slot = key >> (shift + 1)
+            frontier_vertex = (key >> 1) & vertex_mask
+            slot_base = key & (-1 << (shift + 1))
+            # New discoveries flagged odd merge into the visited run — two
+            # pre-sorted runs, so the stable timsort pass is linear.
+            visited_keys = _np.concatenate((visited_keys, key | 1))
+            visited_keys.sort(kind="stable")
+            if mask_array is None:
+                reached[start:start + batch] += _np.bincount(
+                    frontier_slot, minlength=batch)
+            else:
+                reached[start:start + batch] += _np.bincount(
+                    frontier_slot[mask_array[frontier_vertex]], minlength=batch)
+    if stats is not None:
+        stats.traversal_edges += edges
+        stats.sources += total
+        stats.batched_ops += ops
+    return reached
+
+
 # ------------------------------------------------------------- blast radius
 def blast_radius_rows(store: CSRGraphStore, max_hops: int = 10,
                       job_type: str = "Job", cpu_property: str = "cpu",
@@ -498,7 +826,6 @@ def blast_radius_rows(store: CSRGraphStore, max_hops: int = 10,
     else:
         anchor_indices = store.indices_of_type(job_type)
     ids = _ids_of(store)
-    blocks = _adjacency_blocks(store, "out")
     mask = _type_mask(store, job_type)
     # Property dicts are live (shared with the source graph), so CPU values
     # are read per reached vertex like the reference — never cached across
@@ -506,6 +833,30 @@ def blast_radius_rows(store: CSRGraphStore, max_hops: int = 10,
     refs = list(store.vertices())
     rank = _str_rank(store)
     rows: list[tuple[VertexId, tuple[VertexId, ...], float, float]] = []
+    if vectorized_enabled(store):
+        # The out-direction traversal is single-block, so _bfs_levels_np's
+        # first-discovery ordering makes each level (and therefore the float
+        # accumulation order below) identical to the loop tier's.
+        _note_dispatch("vectorized")
+        blocks_np = _np_blocks(store, "out")
+        for source_index in anchor_indices:
+            downstream: list[int] = []
+            total = 0.0
+            if blocks_np:
+                levels = _bfs_levels_np(blocks_np, source_index, max_hops,
+                                        store.num_vertices, stats)
+                for hop in range(1, len(levels)):
+                    for index in levels[hop].tolist():
+                        if mask[index]:
+                            downstream.append(index)
+                            total += float(refs[index].get(cpu_property, 0.0))
+            downstream.sort(key=rank.__getitem__)
+            average = total / len(downstream) if downstream else 0.0
+            rows.append((ids[source_index],
+                         tuple(ids[index] for index in downstream), total, average))
+        return rows
+    _note_dispatch("loops")
+    blocks = _adjacency_blocks(store, "out")
     visited = [0] * store.num_vertices
     for stamp, source_index in enumerate(anchor_indices, start=1):
         downstream: list[int] = []
@@ -538,6 +889,27 @@ def label_propagation(store: CSRGraphStore, passes: int = 25,
     """
     if passes < 0:
         raise ValueError(f"passes must be >= 0, got {passes}")
+    n = store.num_vertices
+    if vectorized_enabled(store):
+        _note_dispatch("vectorized")
+        labels = _label_propagation_np(store, passes, stats)
+    else:
+        _note_dispatch("loops")
+        labels = _label_propagation_loops(store, passes, stats)
+    ids = _ids_of(store)
+    result = dict(zip(ids, map(ids.__getitem__, labels)))
+    if write_property is not None:
+        # Vertex property dicts are shared with the source graph, so the Q7
+        # write-back lands on the live graph exactly like the reference.
+        for vertex, ref in enumerate(store.vertices()):
+            ref.properties[write_property] = ids[labels[vertex]]
+    return result
+
+
+def _label_propagation_loops(store: CSRGraphStore, passes: int,
+                             stats: KernelStats | None) -> list[int]:
+    """Pure-python pass loop of :func:`label_propagation`; returns the final
+    per-vertex label array (labels are interned vertex indices)."""
     n = store.num_vertices
     first_build = not store.undirected_adjacency_built
     adjacency = store.undirected_int_adjacency()
@@ -583,14 +955,78 @@ def label_propagation(store: CSRGraphStore, passes: int = 25,
         labels = new_labels
         if changed == 0:
             break
-    ids = _ids_of(store)
-    result = {ids[vertex]: ids[labels[vertex]] for vertex in range(n)}
-    if write_property is not None:
-        # Vertex property dicts are shared with the source graph, so the Q7
-        # write-back lands on the live graph exactly like the reference.
-        for vertex, ref in enumerate(store.vertices()):
-            ref.properties[write_property] = ids[labels[vertex]]
-    return result
+    return labels
+
+
+def _label_propagation_np(store: CSRGraphStore, passes: int,
+                          stats: KernelStats | None) -> list[int]:
+    """Whole-array pass loop of :func:`label_propagation`.
+
+    Each synchronous pass is one segmented majority vote: neighbor labels
+    are gathered through the packed undirected CSR, packed into per-vertex
+    vote keys (``(vertex << shift) | rank(label)`` — the stride is the next
+    power of two above V so packing and unpacking are shifts and masks),
+    counted with one in-place sort plus an adjacent not-equal mask, and the
+    winner per vertex falls out of a ``np.maximum.reduceat`` over scores
+    ``count * stride + (stride - 1 - rank)`` — count dominates, and the
+    rank term breaks ties toward the smallest ``str(label)``, exactly the
+    reference semantics.
+    """
+    n = store.num_vertices
+    first_build = not store.undirected_adjacency_built
+    offsets, targets = store.undirected_csr_arrays()
+    if stats is not None and first_build:
+        # Context build parity with the loop tier: one pull of the out+in
+        # adjacency from the store.
+        stats.store_reads += 2 * store.num_edges
+    degrees = _np.diff(offsets.astype(_np.int64))
+    total_neighbors = int(degrees.sum())
+    shift = max(int(n - 1).bit_length(), 1)
+    stride = 1 << shift
+    rank_mask = stride - 1
+    rank = _str_rank_array(store)
+    inverse_rank = _np.empty(n, dtype=_np.int64)
+    inverse_rank[rank] = _np.arange(n, dtype=_np.int64)
+    # The adjacency never changes across passes, so the segment term of
+    # every vote key is a constant — only the rank term is per-pass.
+    vote_base = _np.repeat(_np.arange(n, dtype=_np.int64) << shift, degrees)
+    neighbors = targets.astype(_np.int64, copy=False)
+    labels = _np.arange(n, dtype=_np.int64)
+    for _ in range(passes):
+        if stats is not None:
+            stats.passes += 1
+            stats.traversal_edges += total_neighbors
+        if total_neighbors == 0:
+            # No adjacency anywhere: nothing can change; the loop tier also
+            # counts exactly one pass before its changed == 0 break.
+            break
+        # rank[labels] is one n-sized pass; composing it first turns the
+        # per-edge work into a single gather instead of two.
+        rank_of = rank[labels]
+        votes = vote_base + rank_of[neighbors]
+        votes.sort()
+        firsts = _np.empty(votes.shape, dtype=bool)
+        firsts[0] = True
+        _np.not_equal(votes[1:], votes[:-1], out=firsts[1:])
+        first_indices = _np.flatnonzero(firsts)
+        unique_votes = votes[first_indices]
+        counts = _np.diff(first_indices, append=votes.size)
+        vote_segment = unique_votes >> shift
+        vote_rank = unique_votes & rank_mask
+        score = counts * stride + (rank_mask - vote_rank)
+        starts = _np.flatnonzero(
+            _np.r_[True, vote_segment[1:] != vote_segment[:-1]])
+        best = _np.maximum.reduceat(score, starts)
+        new_labels = labels.copy()  # isolated vertices keep their label
+        new_labels[vote_segment[starts]] = inverse_rank[
+            rank_mask - (best & rank_mask)]
+        if stats is not None:
+            stats.batched_ops += 3  # gather, vote count, segmented reduce
+        changed = int((new_labels != labels).sum())
+        labels = new_labels
+        if changed == 0:
+            break
+    return labels.tolist()
 
 
 # ------------------------------------------------------------ weighted paths
@@ -613,6 +1049,9 @@ def path_length_rows(store: CSRGraphStore, source: VertexId, max_hops: int = 4,
         # unknown source id comes back with an empty result.
         return []
     source_index = store.index_of(source)
+    # Weighted-path BFS stays on the loop tier: per-edge property reads
+    # dominate, so a whole-array expansion would not pay for itself.
+    _note_dispatch("loops")
     pairs = _out_edge_pairs(store)
     use_sum = aggregate == "sum"
     best: dict[int, tuple[int, float]] = {}
@@ -665,6 +1104,9 @@ def k_hop_paths(store: CSRGraphStore, k: int,
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    # Path enumeration stays on the loop tier: the simple-path DFS carries
+    # per-path state that has no whole-array formulation.
+    _note_dispatch("loops")
     adjacency = store.int_adjacency("out", edge_label)
     if adjacency is None:
         return []

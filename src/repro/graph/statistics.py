@@ -19,6 +19,11 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships in CI; loop fallback
+    _np = None
+
 from repro.graph.property_graph import PropertyGraph
 
 #: Percentiles tracked by default, mirroring §V-A ("50th, 90th, and 95th
@@ -145,6 +150,55 @@ def compute_statistics(
     return stats
 
 
+def _ndarray_snapshot(graph):
+    """An ndarray-backed CSR view of ``graph`` that is free to use, or ``None``.
+
+    Either ``graph`` already is an ndarray-backed
+    :class:`~repro.storage.csr.CSRGraphStore`, or some
+    :class:`~repro.storage.manager.StorageManager` has published a fresh
+    snapshot for it.  Statistics never *build* a snapshot: a one-off degree
+    scan is cheaper than a freeze, so the whole-array path only runs when
+    the build cost is already paid.
+    """
+    if _np is None:
+        return None
+    from repro.storage.csr import CSRGraphStore  # deferred: keeps this
+    from repro.storage.manager import lookup_snapshot  # module base-layer
+    if isinstance(graph, CSRGraphStore):
+        return graph if graph.uses_ndarrays else None
+    if not isinstance(graph, PropertyGraph):
+        return None
+    snapshot = lookup_snapshot(graph)
+    if snapshot is not None and snapshot.uses_ndarrays:
+        return snapshot
+    return None
+
+
+def _summary_from_degrees(vertex_type: str, degrees,
+                          wanted: tuple[float, ...]) -> TypeDegreeSummary:
+    """Whole-array :class:`TypeDegreeSummary`: one sort covers every
+    requested nearest-rank percentile.  Values are coerced back to python
+    scalars so the result is field-by-field equal to the loop path's."""
+    ordered = _np.sort(degrees)
+    count = len(ordered)
+    summary_percentiles: dict[float, float] = {}
+    for q in wanted:
+        if q == 0:
+            summary_percentiles[q] = int(ordered[0])
+        else:
+            rank = math.ceil(q / 100.0 * count)
+            summary_percentiles[q] = int(ordered[max(rank - 1, 0)])
+    edge_count = int(ordered.sum())
+    return TypeDegreeSummary(
+        vertex_type=vertex_type,
+        vertex_count=count,
+        edge_count=edge_count,
+        percentiles=summary_percentiles,
+        mean_out_degree=edge_count / count,
+        max_out_degree=int(ordered[-1]),
+    )
+
+
 def _compute_statistics(graph: PropertyGraph, wanted: tuple[float, ...]
                         ) -> GraphStatistics:
     stats = GraphStatistics(
@@ -152,6 +206,20 @@ def _compute_statistics(graph: PropertyGraph, wanted: tuple[float, ...]
         total_vertices=graph.num_vertices,
         total_edges=graph.num_edges,
     )
+    for q in wanted:
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+    snapshot = _ndarray_snapshot(graph)
+    if snapshot is not None:
+        offsets, _ = snapshot.csr_ndarrays("out")
+        degrees = _np.diff(offsets.astype(_np.int64))
+        if len(degrees):
+            stats.per_type["*"] = _summary_from_degrees("*", degrees, wanted)
+        for vertex_type in snapshot.vertex_types():
+            members = snapshot.indices_of_type_array(vertex_type)
+            stats.per_type[vertex_type] = _summary_from_degrees(
+                vertex_type, degrees[members], wanted)
+        return stats
     degrees_by_type: dict[str, list[int]] = {"*": []}
     for vertex in graph.vertices():
         out_degree = graph.out_degree(vertex.id)
@@ -175,6 +243,14 @@ def _compute_statistics(graph: PropertyGraph, wanted: tuple[float, ...]
 
 def out_degree_histogram(graph: PropertyGraph, vertex_type: str | None = None) -> dict[int, int]:
     """Histogram ``degree -> number of vertices with that out-degree``."""
+    snapshot = _ndarray_snapshot(graph)
+    if snapshot is not None:
+        offsets, _ = snapshot.csr_ndarrays("out")
+        degrees = _np.diff(offsets.astype(_np.int64))
+        if vertex_type is not None:
+            degrees = degrees[snapshot.indices_of_type_array(vertex_type)]
+        values, counts = _np.unique(degrees, return_counts=True)
+        return dict(zip(values.tolist(), counts.tolist()))
     counter: Counter[int] = Counter()
     for vertex in graph.vertices(vertex_type):
         counter[graph.out_degree(vertex.id)] += 1

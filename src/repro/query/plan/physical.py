@@ -25,6 +25,12 @@ from __future__ import annotations
 
 from typing import Any
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships in CI; loops fallback
+    _np = None
+
+from repro.analytics import kernels
 from repro.errors import QueryExecutionError
 from repro.graph.property_graph import Vertex, VertexId
 from repro.query.ast import Condition, EdgePattern
@@ -38,6 +44,7 @@ from repro.query.projection import Binding, conditions_satisfied, finalize_rows
 from repro.query.stats import ExecutionResult, ExecutionStats
 from repro.query.traversal import bounded_reach
 from repro.storage.base import GraphLike
+from repro.storage.csr import CSRGraphStore
 
 
 class PhysicalExecutor:
@@ -57,6 +64,11 @@ class PhysicalExecutor:
     # ------------------------------------------------------------------ public
     def execute(self, plan: LogicalPlan) -> ExecutionResult:
         """Evaluate a plan and return projected rows plus work counters."""
+        graph = self.graph
+        if isinstance(graph, CSRGraphStore):
+            kernels.note_dispatch(kernels.kernel_tier(graph))
+        else:
+            kernels.note_dispatch("reference")
         stats = ExecutionStats()
         bindings = self.run_bindings(plan, stats)
         stats.bindings_produced = len(bindings)
@@ -111,7 +123,9 @@ class PhysicalExecutor:
                 stats: ExecutionStats) -> list[Binding]:
         # Matching targets per distinct source, with parallel-edge
         # multiplicity preserved (each parallel edge contributes a binding).
-        target_cache: dict[VertexId, list[VertexId]] = {}
+        target_cache = self._prefetch_targets(op, batch, stats)
+        if target_cache is None:
+            target_cache = {}
         out: list[Binding] = []
         for binding in batch:
             source_id = self._bound_source(binding, op.source)
@@ -128,6 +142,74 @@ class PhysicalExecutor:
                 target_cache[source_id] = targets
             out.extend(self._emit(binding, op.target, targets))
         return out
+
+    def _prefetch_targets(self, op: ExpandOp, batch: list[Binding],
+                          stats: ExecutionStats
+                          ) -> dict[VertexId, list[VertexId]] | None:
+        """One whole-batch CSR gather serving every distinct source at once.
+
+        On an ndarray-backed :class:`CSRGraphStore` the per-source
+        ``successors`` list materialization is replaced by a single
+        :meth:`~repro.storage.csr.CSRGraphStore.gather_neighbors` call for
+        the batch's distinct sources; a label-only target predicate is then
+        applied as one boolean mask over the flat result.  ``None`` when the
+        graph cannot gather (dict store, no numpy, or a forced tier) — the
+        caller falls back to per-source expansion.
+
+        Work accounting is identical to the per-source path: unfiltered
+        neighbor counts are charged per distinct source in first-encounter
+        order, so a budget overrun raises at exactly the same
+        ``edges_expanded`` value.
+        """
+        graph = self.graph
+        if (_np is None or not isinstance(graph, CSRGraphStore)
+                or not kernels.vectorized_enabled(graph)):
+            return None
+        sources: list[VertexId] = []
+        seen: set[VertexId] = set()
+        for binding in batch:
+            source_id = self._bound_source(binding, op.source)
+            if source_id not in seen:
+                seen.add(source_id)
+                sources.append(source_id)
+        if not sources:
+            return {}
+        indices = _np.asarray([graph.index_of(source) for source in sources],
+                              dtype=_np.int64)
+        direction = "out" if op.edge.direction == "out" else "in"
+        flat, counts = graph.gather_neighbors(indices, direction, op.edge.label)
+        counts_list = counts.tolist()
+        for count in counts_list:
+            stats.edges_expanded += count
+            self._check_work_budget(stats)
+        ids = graph.external_ids
+        simple_filter = not op.target_properties and not op.conditions
+        if simple_filter and op.target_label is not None:
+            keep = graph.type_index_mask(op.target_label)[flat]
+            segments = _np.repeat(
+                _np.arange(len(sources), dtype=_np.int64), counts)[keep]
+            flat = flat[keep]
+            counts_list = _np.bincount(
+                segments, minlength=len(sources)).tolist()
+        flat_list = flat.tolist()
+        target_cache: dict[VertexId, list[VertexId]] = {}
+        position = 0
+        if simple_filter:
+            for source_id, count in zip(sources, counts_list):
+                target_cache[source_id] = [
+                    ids[index] for index in flat_list[position:position + count]]
+                position += count
+        else:
+            vertex_refs = graph.vertex_refs
+            for source_id, count in zip(sources, counts_list):
+                targets = []
+                for index in flat_list[position:position + count]:
+                    if self._vertex_ok(vertex_refs[index], op.target_label,
+                                       op.target_properties, op.conditions):
+                        targets.append(ids[index])
+                target_cache[source_id] = targets
+                position += count
+        return target_cache
 
     def _var_expand(self, op: VarExpandOp, batch: list[Binding],
                     stats: ExecutionStats) -> list[Binding]:

@@ -318,6 +318,19 @@ class ServiceMetrics:
         self.work_total = r.counter(
             "kaskade_query_work_total",
             "Traversal work (vertices scanned + edges expanded) of served queries")
+        self.kernel_dispatch = r.counter(
+            "kaskade_kernel_dispatch_total",
+            "Kernel tier decisions (path=vectorized/loops/reference) made "
+            "while this registry is subscribed")
+        # Pre-seed every tier so /metrics always exposes all three series,
+        # then mirror the analytics dispatcher's decisions into the counter.
+        # The subscription holds only a weak reference, so a discarded
+        # ServiceMetrics (and its registry) is dropped automatically.
+        for path in ("vectorized", "loops", "reference"):
+            self.kernel_dispatch.inc(0.0, path=path)
+        from repro.analytics import kernels
+
+        kernels.subscribe_dispatch(self.kernel_dispatch)
 
     # ------------------------------------------------------------- observers
     def observe_query(self, outcome) -> None:

@@ -12,6 +12,15 @@ classic CSR layout — both combined and per edge label, giving:
 * direct access to the integer-space ``(offsets, targets)`` arrays for
   PageRank-style sweeps and other whole-graph kernels.
 
+When :mod:`numpy` is importable the ``(offsets, targets)`` pairs, the
+per-type index slices, and the derived undirected adjacency are contiguous
+``ndarray``\\ s (``int32``, widened to ``int64`` past :data:`_INT32_LIMIT`),
+which is what the vectorized analytics kernels
+(:mod:`repro.analytics.kernels`) and the physical executor's batched
+neighbor gather operate on directly.  Without numpy the layout transparently
+falls back to stdlib :class:`array.array` and every consumer stays on the
+pure-python loop kernels — same results, no hard dependency.
+
 The snapshot freezes the *topology*: adding or removing vertices/edges raises
 :class:`~repro.errors.GraphError`.  Vertex and edge **property dictionaries
 are shared** with the source graph (like :meth:`PropertyGraph.copy`, property
@@ -27,22 +36,83 @@ from __future__ import annotations
 from array import array
 from typing import Iterator, Sequence
 
+try:  # pragma: no cover - exercised via both-tier differential tests
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships in CI; stdlib fallback
+    _np = None
+
 from repro.errors import GraphError, VertexNotFoundError
 from repro.graph.property_graph import Edge, PropertyGraph, Vertex, VertexId
 from repro.graph.schema import GraphSchema
 from repro.storage.base import GraphStore
 
-#: Signed native-long typecode used for offset/target arrays.
+#: Signed native-long typecode used for offset/target arrays (numpy-less fallback).
 _ARRAY_TYPECODE = "q"
+
+#: Largest value stored in an ``int32`` index array; arrays whose maximum
+#: entry would exceed it (vertex counts for ``targets``, edge counts for
+#: ``offsets``) widen to ``int64``.  Module-level so the widening guard is
+#: testable without building a 2-billion-edge graph.
+_INT32_LIMIT = 2**31 - 1
+
+
+def _index_dtype(max_value: int):
+    """The narrowest index dtype that can hold ``max_value``."""
+    return _np.int32 if max_value <= _INT32_LIMIT else _np.int64
+
+
+def _index_array(values: list[int], max_value: int):
+    """Pack ``values`` into a contiguous index array (ndarray when available)."""
+    if _np is not None:
+        return _np.asarray(values, dtype=_index_dtype(max_value))
+    return array(_ARRAY_TYPECODE, values)
+
+
+def gather_slices(offsets, targets, indices):
+    """One vectorized gather: the concatenated CSR slices of ``indices``.
+
+    Returns ``(flat_targets, counts)`` where ``flat_targets`` is
+    ``targets[offsets[i]:offsets[i+1]]`` for every ``i`` in ``indices``,
+    concatenated in order, and ``counts[j]`` is the slice length of
+    ``indices[j]``.  This is the ``np.repeat``/``np.diff``-style expand every
+    vectorized frontier and the executor's batched neighbor expansion build
+    on: no per-source python iteration, one pass over the whole batch.
+
+    ``flat_targets`` keeps the dtype of ``targets`` (``int32`` until the
+    store widens) and the position arithmetic runs in the narrowest index
+    dtype that can address the expansion — halving memory traffic on the
+    hot frontier path.  ``counts`` is always ``int64`` so downstream sums
+    never overflow.
+    """
+    starts = offsets[indices]
+    counts = (offsets[indices + 1] - starts).astype(_np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return targets[:0], counts
+    # positions[k] walks each slice: repeat every start, then add the
+    # within-slice ramp 0..count-1 reconstructed from the cumulative sum.
+    pos_dtype = _index_dtype(max(total, len(targets)))
+    cumulative = _np.cumsum(counts)
+    positions = _np.repeat(starts.astype(pos_dtype, copy=False), counts)
+    ramp = _np.arange(total, dtype=pos_dtype)
+    ramp -= _np.repeat((cumulative - counts).astype(pos_dtype, copy=False),
+                       counts)
+    positions += ramp
+    return targets[positions], counts
 
 
 class _LabelCSR:
-    """One CSR block: offsets plus aligned target-id / edge-reference arrays."""
+    """One CSR block: offsets plus aligned target-id / edge-reference arrays.
+
+    ``offsets``/``targets_int`` are numpy ndarrays when numpy is importable
+    (``int32``, widened to ``int64`` past :data:`_INT32_LIMIT`) and stdlib
+    ``array('q')`` otherwise.
+    """
 
     __slots__ = ("offsets", "targets_int", "targets_ext", "edge_refs",
                  "_neighbor_cache", "_int_neighbor_cache")
 
-    def __init__(self, offsets: array, targets_int: array,
+    def __init__(self, offsets, targets_int,
                  targets_ext: list[VertexId], edge_refs: list[Edge]) -> None:
         self.offsets = offsets
         self.targets_int = targets_int
@@ -63,7 +133,10 @@ class _LabelCSR:
         """
         cache = self._neighbor_cache
         if cache is None:
-            offsets, ext = self.offsets, self.targets_ext
+            ext = self.targets_ext
+            offsets = (self.offsets.tolist()
+                       if _np is not None and isinstance(self.offsets, _np.ndarray)
+                       else self.offsets)
             cache = [ext[offsets[i]:offsets[i + 1]] for i in range(len(offsets) - 1)]
             self._neighbor_cache = cache
         return cache
@@ -78,8 +151,15 @@ class _LabelCSR:
         cache = self._int_neighbor_cache
         if cache is None:
             offsets, targets = self.offsets, self.targets_int
-            cache = [list(targets[offsets[i]:offsets[i + 1]])
-                     for i in range(len(offsets) - 1)]
+            if _np is not None and isinstance(targets, _np.ndarray):
+                # .tolist() yields plain python ints — numpy scalars would
+                # slow every bytearray/list index on the loop-kernel hot path.
+                bounds = offsets.tolist()
+                cache = [targets[bounds[i]:bounds[i + 1]].tolist()
+                         for i in range(len(bounds) - 1)]
+            else:
+                cache = [list(targets[offsets[i]:offsets[i + 1]])
+                         for i in range(len(offsets) - 1)]
             self._int_neighbor_cache = cache
         return cache
 
@@ -95,22 +175,24 @@ def _build_csr(num_vertices: int, incident: list[list[Edge]],
         endpoint_index: Maps external vertex id to interned id.
         forward: True packs edge targets (out-CSR), False packs sources (in-CSR).
     """
-    offsets = array(_ARRAY_TYPECODE, [0] * (num_vertices + 1))
+    raw_offsets = [0] * (num_vertices + 1)
     total = 0
     for i in range(num_vertices):
         total += len(incident[i])
-        offsets[i + 1] = total
-    targets_int = array(_ARRAY_TYPECODE, [0] * total)
+        raw_offsets[i + 1] = total
+    raw_targets = [0] * total
     targets_ext: list[VertexId] = [None] * total
     edge_refs: list[Edge] = [None] * total
     pos = 0
     for i in range(num_vertices):
         for edge in incident[i]:
             endpoint = edge.target if forward else edge.source
-            targets_int[pos] = endpoint_index[endpoint]
+            raw_targets[pos] = endpoint_index[endpoint]
             targets_ext[pos] = endpoint
             edge_refs[pos] = edge
             pos += 1
+    offsets = _index_array(raw_offsets, total)
+    targets_int = _index_array(raw_targets, max(num_vertices - 1, 0))
     return _LabelCSR(offsets, targets_int, targets_ext, edge_refs)
 
 
@@ -167,6 +249,9 @@ class CSRGraphStore(GraphStore):
         self._out = _build_csr(n, out_all, self._index, forward=True)
         self._in = _build_csr(n, in_all, self._index, forward=False)
         self._undirected_cache: list[list[int]] | None = None
+        self._undirected_arrays = None
+        self._type_index_arrays: dict[str, object] = {}
+        self._type_mask_arrays: dict[str, object] = {}
         self._out_by_label = {
             label: _build_csr(n, incident, self._index, forward=True)
             for label, incident in out_by_label.items()
@@ -217,6 +302,108 @@ class CSRGraphStore(GraphStore):
         """Interned ids of the vertices with ``vertex_type``, in intern order."""
         return list(self._by_type.get(vertex_type, ()))
 
+    @property
+    def external_ids(self) -> list[VertexId]:
+        """The external id per interned index — read-only, no copy.
+
+        The zero-allocation counterpart of :meth:`vertex_ids` for kernels
+        that translate interned results back per call.
+        """
+        return self._ids
+
+    @property
+    def vertex_refs(self) -> list[Vertex]:
+        """The vertex object per interned index — read-only, no copy.
+
+        Lets batched consumers evaluate per-vertex predicates on gathered
+        interned ids without a per-target external-id round trip.
+        """
+        return self._vertex_refs
+
+    @property
+    def uses_ndarrays(self) -> bool:
+        """Whether the CSR arrays are numpy ndarrays (vectorized kernels
+        require it; the stdlib ``array`` fallback pins the loop tier)."""
+        return _np is not None and isinstance(self._out.offsets, _np.ndarray)
+
+    def indices_of_type_array(self, vertex_type: str):
+        """:meth:`indices_of_type` as a cached index ndarray (numpy only)."""
+        cached = self._type_index_arrays.get(vertex_type)
+        if cached is None:
+            members = self._by_type.get(vertex_type, ())
+            cached = _np.asarray(members,
+                                 dtype=_index_dtype(max(self.num_vertices - 1, 0)))
+            self._type_index_arrays[vertex_type] = cached
+        return cached
+
+    def type_index_mask(self, vertex_type: str):
+        """Boolean ndarray, ``mask[i]`` iff vertex ``i`` has ``vertex_type``."""
+        cached = self._type_mask_arrays.get(vertex_type)
+        if cached is None:
+            cached = _np.zeros(self.num_vertices, dtype=bool)
+            members = self._by_type.get(vertex_type)
+            if members:
+                cached[_np.asarray(members, dtype=_np.int64)] = True
+            self._type_mask_arrays[vertex_type] = cached
+        return cached
+
+    def csr_ndarrays(self, direction: str = "out", label: str | None = None):
+        """``(offsets, targets)`` as ndarrays, or ``None`` when the block is
+        absent (unknown label) or the store is not ndarray-backed.
+
+        Unlike :meth:`csr_arrays` this never fabricates an empty block and
+        never triggers the python neighbor-list caches — it is the entry
+        point of the whole-array kernels.
+        """
+        if not self.uses_ndarrays:
+            return None
+        block = self._block(direction, label)
+        if block is None:
+            return None
+        return block.offsets, block.targets_int
+
+    def gather_neighbors(self, indices, direction: str = "out",
+                         label: str | None = None):
+        """Batched neighbor expansion: one gather for many interned sources.
+
+        ``indices`` is an integer ndarray of interned vertex ids; returns
+        ``(flat_targets, counts)`` per :func:`gather_slices`.  For an absent
+        label every source has zero neighbors.  Requires ndarray backing.
+        """
+        block = self._block(direction, label)
+        if block is None:
+            return (_np.empty(0, dtype=_np.int64),
+                    _np.zeros(len(indices), dtype=_np.int64))
+        return gather_slices(block.offsets, block.targets_int, indices)
+
+    def undirected_csr_arrays(self):
+        """The deduped undirected adjacency as ``(offsets, targets)`` ndarrays.
+
+        The whole-array counterpart of :meth:`undirected_int_adjacency` —
+        same per-vertex neighbor sets (duplicates from parallel and mutual
+        edges removed), packed contiguously for per-pass label-propagation
+        votes.  Built and cached on first use; ``None`` without ndarray
+        backing.
+        """
+        if not self.uses_ndarrays:
+            return None
+        cached = self._undirected_arrays
+        if cached is None:
+            adjacency = self.undirected_int_adjacency()
+            lengths = [len(neighbors) for neighbors in adjacency]
+            total = sum(lengths)
+            offsets = _np.zeros(self.num_vertices + 1, dtype=_index_dtype(total))
+            if adjacency:
+                offsets[1:] = _np.cumsum(lengths)
+            flat: list[int] = []
+            for neighbors in adjacency:
+                flat.extend(neighbors)
+            targets = _np.asarray(flat,
+                                  dtype=_index_dtype(max(self.num_vertices - 1, 0)))
+            cached = (offsets, targets)
+            self._undirected_arrays = cached
+        return cached
+
     def csr_arrays(self, direction: str = "out", label: str | None = None
                    ) -> tuple[Sequence[int], Sequence[int]]:
         """The raw ``(offsets, targets)`` arrays in interned integer space.
@@ -227,8 +414,8 @@ class CSRGraphStore(GraphStore):
         """
         block = self._block(direction, label)
         if block is None:
-            empty = array(_ARRAY_TYPECODE, [0] * (self.num_vertices + 1))
-            return empty, array(_ARRAY_TYPECODE)
+            return (_index_array([0] * (self.num_vertices + 1), 0),
+                    _index_array([], 0))
         return block.offsets, block.targets_int
 
     def int_adjacency(self, direction: str = "out", label: str | None = None
