@@ -154,14 +154,60 @@ def numpy_available() -> bool:
     return _np is not None
 
 
+#: Weakly held circuit breaker guarding the vectorized tier (None = none).
+_breaker_ref: weakref.ref | None = None
+
+
+def install_breaker(breaker) -> None:
+    """Guard the vectorized tier with a circuit breaker (weakly referenced).
+
+    With a breaker installed (typically a
+    :class:`~repro.service.client.CircuitBreaker`), an exception inside a
+    vectorized branch is recorded as a failure and the call falls back to
+    the loop tier instead of propagating; once the rolling failure window
+    trips the breaker open, :func:`vectorized_enabled` answers False and
+    dispatch degrades to the always-correct tiers until the breaker's
+    half-open probe succeeds.  Pass ``None`` to uninstall.
+    """
+    global _breaker_ref
+    _breaker_ref = weakref.ref(breaker) if breaker is not None else None
+
+
+def installed_breaker():
+    """The live installed breaker, or None."""
+    ref = _breaker_ref
+    return ref() if ref is not None else None
+
+
+def _vectorized_succeeded() -> None:
+    """Close a recovering breaker after a successful vectorized call."""
+    breaker = installed_breaker()
+    if breaker is not None and breaker.state != "closed":
+        breaker.record_success()
+
+
+def _vectorized_failed() -> bool:
+    """Record a vectorized-tier failure; True when dispatch should degrade
+    to the loop tier (a breaker is installed) instead of raising."""
+    breaker = installed_breaker()
+    if breaker is None:
+        return False
+    breaker.record_failure()
+    return True
+
+
 def vectorized_enabled(store: CSRGraphStore | None = None) -> bool:
     """Whether vectorized kernels may run (optionally: on ``store``).
 
     False when numpy is absent, when either escape hatch
-    (:data:`FORCE_LOOPS_ENV`, :data:`FORCE_REFERENCE_ENV`) is set, or when
-    the given store fell back to stdlib ``array`` backing.
+    (:data:`FORCE_LOOPS_ENV`, :data:`FORCE_REFERENCE_ENV`) is set, when an
+    installed circuit breaker is open (see :func:`install_breaker`), or
+    when the given store fell back to stdlib ``array`` backing.
     """
     if _np is None or forced_loops() or forced_reference():
+        return False
+    breaker = installed_breaker()
+    if breaker is not None and breaker.state == "open":
         return False
     return store is None or store.uses_ndarrays
 
@@ -553,15 +599,21 @@ def k_hop_neighborhood(store: CSRGraphStore, source: VertexId, max_hops: int,
     ids = _ids_of(store)
     distances: dict[VertexId, int] = {source: 0} if include_source else {}
     if vectorized_enabled(store):
-        _note_dispatch("vectorized")
-        blocks_np = _np_blocks(store, direction, edge_labels)
-        if blocks_np:
-            levels = _bfs_levels_np(blocks_np, source_index, max_hops,
-                                    store.num_vertices, stats)
-            for hop in range(1, len(levels)):
-                for index in levels[hop].tolist():
-                    distances[ids[index]] = hop
-        return distances
+        try:
+            _note_dispatch("vectorized")
+            blocks_np = _np_blocks(store, direction, edge_labels)
+            if blocks_np:
+                levels = _bfs_levels_np(blocks_np, source_index, max_hops,
+                                        store.num_vertices, stats)
+                for hop in range(1, len(levels)):
+                    for index in levels[hop].tolist():
+                        distances[ids[index]] = hop
+            _vectorized_succeeded()
+            return distances
+        except Exception:  # noqa: BLE001 - breaker decides degrade vs raise
+            if not _vectorized_failed():
+                raise
+            distances = {source: 0} if include_source else {}
     _note_dispatch("loops")
     blocks = _adjacency_blocks(store, direction, edge_labels)
     if blocks:
@@ -584,18 +636,25 @@ def k_hop_reachable(store: CSRGraphStore, source: VertexId, max_hops: int,
     source_index = store.index_of(source)
     ids = _ids_of(store)
     if vectorized_enabled(store):
-        _note_dispatch("vectorized")
-        blocks_np = _np_blocks(store, direction)
-        if not blocks_np:
-            return set()
-        levels = _bfs_levels_np(blocks_np, source_index, max_hops,
-                                store.num_vertices, stats)
-        if len(levels) <= 1:
-            return set()
-        rest = _np.concatenate(levels[1:])
-        if vertex_type is not None:
-            rest = rest[store.type_index_mask(vertex_type)[rest]]
-        return {ids[index] for index in rest.tolist()}
+        try:
+            _note_dispatch("vectorized")
+            blocks_np = _np_blocks(store, direction)
+            if not blocks_np:
+                _vectorized_succeeded()
+                return set()
+            levels = _bfs_levels_np(blocks_np, source_index, max_hops,
+                                    store.num_vertices, stats)
+            reached_np: set[VertexId] = set()
+            if len(levels) > 1:
+                rest = _np.concatenate(levels[1:])
+                if vertex_type is not None:
+                    rest = rest[store.type_index_mask(vertex_type)[rest]]
+                reached_np = {ids[index] for index in rest.tolist()}
+            _vectorized_succeeded()
+            return reached_np
+        except Exception:  # noqa: BLE001 - breaker decides degrade vs raise
+            if not _vectorized_failed():
+                raise
     _note_dispatch("loops")
     blocks = _adjacency_blocks(store, direction)
     if not blocks:
@@ -638,16 +697,22 @@ def bulk_k_hop_counts(store: CSRGraphStore, max_hops: int,
                           else list(range(store.num_vertices)))
     ids = _ids_of(store)
     if vectorized_enabled(store):
-        _note_dispatch("vectorized")
-        blocks_np = _np_blocks(store, direction, edge_labels)
-        if not blocks_np:
-            return {ids[index]: 0 for index in anchor_indices}
-        mask_array = (store.type_index_mask(vertex_type)
-                      if vertex_type is not None else None)
-        reached = _bulk_k_hop_counts_np(blocks_np, anchor_indices, max_hops,
-                                        store.num_vertices, mask_array, stats)
-        return dict(zip(map(ids.__getitem__, anchor_indices),
-                        reached.tolist()))
+        try:
+            _note_dispatch("vectorized")
+            blocks_np = _np_blocks(store, direction, edge_labels)
+            if not blocks_np:
+                _vectorized_succeeded()
+                return {ids[index]: 0 for index in anchor_indices}
+            mask_array = (store.type_index_mask(vertex_type)
+                          if vertex_type is not None else None)
+            reached = _bulk_k_hop_counts_np(blocks_np, anchor_indices, max_hops,
+                                            store.num_vertices, mask_array, stats)
+            _vectorized_succeeded()
+            return dict(zip(map(ids.__getitem__, anchor_indices),
+                            reached.tolist()))
+        except Exception:  # noqa: BLE001 - breaker decides degrade vs raise
+            if not _vectorized_failed():
+                raise
     _note_dispatch("loops")
     blocks = _adjacency_blocks(store, direction, edge_labels)
     if not blocks:
@@ -834,27 +899,34 @@ def blast_radius_rows(store: CSRGraphStore, max_hops: int = 10,
     rank = _str_rank(store)
     rows: list[tuple[VertexId, tuple[VertexId, ...], float, float]] = []
     if vectorized_enabled(store):
-        # The out-direction traversal is single-block, so _bfs_levels_np's
-        # first-discovery ordering makes each level (and therefore the float
-        # accumulation order below) identical to the loop tier's.
-        _note_dispatch("vectorized")
-        blocks_np = _np_blocks(store, "out")
-        for source_index in anchor_indices:
-            downstream: list[int] = []
-            total = 0.0
-            if blocks_np:
-                levels = _bfs_levels_np(blocks_np, source_index, max_hops,
-                                        store.num_vertices, stats)
-                for hop in range(1, len(levels)):
-                    for index in levels[hop].tolist():
-                        if mask[index]:
-                            downstream.append(index)
-                            total += float(refs[index].get(cpu_property, 0.0))
-            downstream.sort(key=rank.__getitem__)
-            average = total / len(downstream) if downstream else 0.0
-            rows.append((ids[source_index],
-                         tuple(ids[index] for index in downstream), total, average))
-        return rows
+        try:
+            # The out-direction traversal is single-block, so _bfs_levels_np's
+            # first-discovery ordering makes each level (and therefore the
+            # float accumulation order below) identical to the loop tier's.
+            _note_dispatch("vectorized")
+            blocks_np = _np_blocks(store, "out")
+            for source_index in anchor_indices:
+                downstream: list[int] = []
+                total = 0.0
+                if blocks_np:
+                    levels = _bfs_levels_np(blocks_np, source_index, max_hops,
+                                            store.num_vertices, stats)
+                    for hop in range(1, len(levels)):
+                        for index in levels[hop].tolist():
+                            if mask[index]:
+                                downstream.append(index)
+                                total += float(refs[index].get(cpu_property, 0.0))
+                downstream.sort(key=rank.__getitem__)
+                average = total / len(downstream) if downstream else 0.0
+                rows.append((ids[source_index],
+                             tuple(ids[index] for index in downstream),
+                             total, average))
+            _vectorized_succeeded()
+            return rows
+        except Exception:  # noqa: BLE001 - breaker decides degrade vs raise
+            if not _vectorized_failed():
+                raise
+            rows = []
     _note_dispatch("loops")
     blocks = _adjacency_blocks(store, "out")
     visited = [0] * store.num_vertices
@@ -891,8 +963,15 @@ def label_propagation(store: CSRGraphStore, passes: int = 25,
         raise ValueError(f"passes must be >= 0, got {passes}")
     n = store.num_vertices
     if vectorized_enabled(store):
-        _note_dispatch("vectorized")
-        labels = _label_propagation_np(store, passes, stats)
+        try:
+            _note_dispatch("vectorized")
+            labels = _label_propagation_np(store, passes, stats)
+            _vectorized_succeeded()
+        except Exception:  # noqa: BLE001 - breaker decides degrade vs raise
+            if not _vectorized_failed():
+                raise
+            _note_dispatch("loops")
+            labels = _label_propagation_loops(store, passes, stats)
     else:
         _note_dispatch("loops")
         labels = _label_propagation_loops(store, passes, stats)

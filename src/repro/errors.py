@@ -124,3 +124,49 @@ class AdmissionError(ServiceError):
                          f"retry after {retry_after_seconds:.3f}s")
         self.reason = reason
         self.retry_after_seconds = retry_after_seconds
+
+
+class DurabilityError(KaskadeError):
+    """Base class for errors in the crash-safe durability layer
+    (:mod:`repro.durability`)."""
+
+
+class WALCorruptionError(DurabilityError):
+    """Raised when the write-ahead log contains corruption that cannot be
+    explained by a torn trailing write.
+
+    A torn or checksum-failing record at the *tail* of the log is the
+    expected signature of a crash mid-append and is tolerated (recovery stops
+    there); a bad record *followed by valid data* means the log was damaged
+    after it was written, which recovery must refuse to paper over.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """Raised when checkpoint + WAL replay cannot reproduce a consistent
+    state (e.g. a replayed batch lands on a different graph version than the
+    one its commit marker recorded)."""
+
+
+class ClientError(ServiceError):
+    """Base class for errors raised by the resilient service client
+    (:mod:`repro.service.client`)."""
+
+
+class DeadlineExceededError(ClientError):
+    """Raised when a client request (including its retries) exhausted its
+    per-request deadline before receiving a successful response."""
+
+
+class CircuitOpenError(ClientError):
+    """Raised when a circuit breaker is open and the call is refused without
+    being attempted.
+
+    Carries ``retry_after_seconds`` — the time until the breaker transitions
+    to half-open and allows a probe.
+    """
+
+    def __init__(self, name: str, retry_after_seconds: float = 0.0) -> None:
+        super().__init__(f"circuit {name!r} is open; "
+                         f"retry after {retry_after_seconds:.3f}s")
+        self.retry_after_seconds = retry_after_seconds

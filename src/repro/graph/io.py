@@ -8,6 +8,7 @@ or a pair of CSV-like files (vertices + edges), and loaded back.
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Iterable
@@ -17,9 +18,17 @@ from repro.graph.property_graph import PropertyGraph
 from repro.graph.schema import GraphSchema
 
 
-def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
-    """Convert a graph to a JSON-serializable dictionary."""
-    return {
+def graph_to_dict(graph: PropertyGraph, *, include_ids: bool = False) -> dict[str, Any]:
+    """Convert a graph to a JSON-serializable dictionary.
+
+    With ``include_ids`` (the durability checkpoint format) every edge record
+    carries its ``id`` and the payload carries the graph's monotonic counters
+    (``version``, ``next_edge_id``), so :func:`graph_from_dict` can rebuild a
+    graph whose edge ids and version numbering continue exactly where the
+    serialized one stood — which WAL replay depends on.  The default (plain
+    view persistence) stays id-free and byte-compatible with earlier stores.
+    """
+    payload = {
         "name": graph.name,
         "schema": graph.schema.to_dict() if graph.schema is not None else None,
         "vertices": [
@@ -28,6 +37,7 @@ def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
         ],
         "edges": [
             {
+                **({"id": e.id} if include_ids else {}),
                 "source": e.source,
                 "target": e.target,
                 "label": e.label,
@@ -36,19 +46,63 @@ def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
             for e in graph.edges()
         ],
     }
+    if include_ids:
+        payload["version"] = graph.version
+        payload["next_edge_id"] = graph.next_edge_id
+    return payload
 
 
 def graph_from_dict(payload: dict[str, Any]) -> PropertyGraph:
-    """Inverse of :func:`graph_to_dict`."""
+    """Inverse of :func:`graph_to_dict` (either format).
+
+    Edge records carrying an ``id`` are restored under that id, and
+    checkpointed ``version`` / ``next_edge_id`` counters are re-applied, so a
+    round trip through the ``include_ids`` format is exact.
+    """
     schema_payload = payload.get("schema")
     schema = GraphSchema.from_dict(schema_payload) if schema_payload else None
     graph = PropertyGraph(name=payload.get("name", "graph"), schema=schema)
     for vertex in payload.get("vertices", ()):
         graph.add_vertex(vertex["id"], vertex["type"], **vertex.get("properties", {}))
     for edge in payload.get("edges", ()):
-        graph.add_edge(edge["source"], edge["target"], edge["label"],
-                       **edge.get("properties", {}))
+        if "id" in edge:
+            graph.restore_edge(edge["id"], edge["source"], edge["target"],
+                               edge["label"], **edge.get("properties", {}))
+        else:
+            graph.add_edge(edge["source"], edge["target"], edge["label"],
+                           **edge.get("properties", {}))
+    if "version" in payload:
+        graph.restore_counters(version=payload["version"],
+                               next_edge_id=payload.get("next_edge_id"))
     return graph
+
+
+def graph_fingerprint(graph: PropertyGraph, *, include_edge_ids: bool = True) -> str:
+    """Order-insensitive content hash of a graph's vertices, edges, and properties.
+
+    The crash-recovery differential's equality check: two graphs with the
+    same vertex set (id, type, properties) and edge set (id, source, target,
+    label, properties) — regardless of insertion order — hash identically.
+    ``include_edge_ids=False`` compares topology only, for graphs built along
+    different mutation histories.
+    """
+    vertices = sorted(
+        json.dumps([repr(v.id), v.type, sorted(v.properties.items(), key=repr)],
+                   default=str)
+        for v in graph.vertices())
+    edges = sorted(
+        json.dumps([e.id if include_edge_ids else None, repr(e.source),
+                    repr(e.target), e.label,
+                    sorted(e.properties.items(), key=repr)], default=str)
+        for e in graph.edges())
+    digest = hashlib.sha256()
+    for line in vertices:
+        digest.update(b"v")
+        digest.update(line.encode())
+    for line in edges:
+        digest.update(b"e")
+        digest.update(line.encode())
+    return digest.hexdigest()
 
 
 def save_graph_json(graph: PropertyGraph, path: str | Path) -> Path:

@@ -406,6 +406,59 @@ class PropertyGraph:
             if not self._out.get(vid)
         ]
 
+    # ---------------------------------------------------------------- restore
+    @property
+    def next_edge_id(self) -> EdgeId:
+        """The id the next inserted edge will receive (monotonic, never reused)."""
+        return self._next_edge_id
+
+    def restore_edge(self, edge_id: EdgeId, source: VertexId, target: VertexId,
+                     label: str, **properties: Any) -> Edge:
+        """Re-insert an edge under its original id (checkpoint restore path).
+
+        Edge ids are assigned monotonically and never reused, so a graph
+        rebuilt from a checkpoint must keep the original ids for later WAL
+        ``remove_edge``-by-id records (and differential fingerprints) to keep
+        meaning the same edges.  Bumps the version like :meth:`add_edge`;
+        callers restoring a checkpoint overwrite the counters afterwards with
+        :meth:`restore_counters`.
+
+        Raises:
+            GraphError: When ``edge_id`` is already present.
+            VertexNotFoundError: If either endpoint is missing.
+        """
+        if edge_id in self._edges:
+            raise GraphError(f"edge id {edge_id!r} is already present; "
+                             f"restore_edge never overwrites")
+        self.vertex(source)
+        self.vertex(target)
+        edge = Edge(id=edge_id, source=source, target=target, label=label,
+                    properties=dict(properties))
+        self._version += 1
+        self._next_edge_id = max(self._next_edge_id, edge_id + 1)
+        self._edges[edge_id] = edge
+        self._out[source].append(edge_id)
+        self._in[target].append(edge_id)
+        self._edges_by_label.setdefault(label, {})[edge_id] = None
+        self._record("add_edge", edge_id=edge_id, source=source, target=target,
+                     label=label)
+        return edge
+
+    def restore_counters(self, *, version: int, next_edge_id: EdgeId | None = None) -> None:
+        """Overwrite the monotonic counters after deserializing a checkpoint.
+
+        Rebuilding a graph from a checkpoint replays one insert per vertex and
+        edge, so the rebuilt ``version`` counts inserts rather than the whole
+        mutation history.  The durability layer restores the checkpointed
+        counters so WAL replay and MVCC version numbering continue exactly
+        where the crashed process left off.  Counters only move forward.
+        """
+        if version < self._version and self._changelog is not None:
+            raise GraphError("cannot rewind the version of a change-captured graph")
+        self._version = max(self._version, version)
+        if next_edge_id is not None:
+            self._next_edge_id = max(self._next_edge_id, next_edge_id)
+
     # -------------------------------------------------------------- bulk logic
     def add_vertices(self, vertices: Iterable[tuple[VertexId, str]]) -> int:
         """Bulk-insert ``(id, type)`` pairs; returns number inserted."""

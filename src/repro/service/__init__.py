@@ -6,6 +6,10 @@ snapshot-isolated reads over single-writer commits;
 token buckets; :class:`ServiceMetrics` exposes Prometheus-format telemetry;
 :class:`GraphService` ties them together behind HTTP via
 :class:`KaskadeHTTPServer` (stdlib asyncio) or :func:`create_fastapi_app`.
+Commits become crash-safe when a :class:`~repro.durability.DurabilityEngine`
+is threaded through (``GraphService.open_durable``), and
+:class:`KaskadeClient` gives callers retries, deadlines, and circuit
+breaking over the whole stack.
 """
 
 from repro.service.admission import (
@@ -15,7 +19,15 @@ from repro.service.admission import (
     Ticket,
     TokenBucket,
 )
+from repro.service.client import (
+    RETRYABLE_STATUSES,
+    CircuitBreaker,
+    ClientResponse,
+    KaskadeClient,
+    RetryPolicy,
+)
 from repro.service.metrics import (
+    CallbackCounter,
     CallbackGauge,
     Counter,
     Gauge,
@@ -45,6 +57,12 @@ __all__ = [
     "AdmissionPolicy",
     "Ticket",
     "TokenBucket",
+    "RETRYABLE_STATUSES",
+    "CircuitBreaker",
+    "ClientResponse",
+    "KaskadeClient",
+    "RetryPolicy",
+    "CallbackCounter",
     "CallbackGauge",
     "Counter",
     "Gauge",

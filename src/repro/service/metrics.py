@@ -165,6 +165,17 @@ class CallbackGauge(_Metric):
         return [("", dict(labels), float(value)) for labels, value in collected]
 
 
+class CallbackCounter(CallbackGauge):
+    """A counter whose value is owned elsewhere and sampled at scrape time.
+
+    Used for totals the durability engine already tracks (WAL records
+    appended, batches replayed) — the engine stays metrics-agnostic and the
+    scrape reads its counters through a callback.
+    """
+
+    kind = "counter"
+
+
 class Histogram(_Metric):
     """Fixed-bucket histogram with Prometheus cumulative-``le`` exposition."""
 
@@ -235,6 +246,12 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[str, _Metric] = {}
         self._lock = threading.Lock()
+        # Registered first so a scrape that drops a broken metric still
+        # reports *that it dropped one* on the same page.
+        self.callback_errors = self.counter(
+            "kaskade_metrics_callback_errors_total",
+            "Metrics whose render raised during a scrape, by metric name "
+            "(the scrape itself never fails)")
 
     def _register(self, metric: _Metric) -> _Metric:
         with self._lock:
@@ -257,6 +274,9 @@ class MetricsRegistry:
     def gauge_callback(self, name: str, help_text: str, collect) -> CallbackGauge:
         return self._register(CallbackGauge(name, help_text, collect))  # type: ignore[return-value]
 
+    def counter_callback(self, name: str, help_text: str, collect) -> CallbackCounter:
+        return self._register(CallbackCounter(name, help_text, collect))  # type: ignore[return-value]
+
     def histogram(self, name: str, help_text: str,
                   buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> Histogram:
         return self._register(Histogram(name, help_text, buckets))  # type: ignore[return-value]
@@ -266,12 +286,27 @@ class MetricsRegistry:
             return self._metrics.get(name)
 
     def render(self) -> str:
-        """The full registry in Prometheus text exposition format."""
+        """The full registry in Prometheus text exposition format.
+
+        Hardened: a metric whose render raises (typically a callback gauge
+        sampling an object that is mid-teardown) is skipped and counted in
+        ``kaskade_metrics_callback_errors_total`` instead of failing the
+        whole scrape — ``GET /metrics`` must never 500.
+        """
         with self._lock:
             metrics = list(self._metrics.values())
         lines: list[str] = []
         for metric in metrics:
-            lines.extend(metric.render())
+            if metric is self.callback_errors:
+                continue  # rendered last, so this scrape's drops show up in it
+            try:
+                rendered = metric.render()
+            except Exception:  # noqa: BLE001 - scrape must survive any metric
+                self.callback_errors.inc(metric=metric.name)
+                rendered = [f"# HELP {metric.name} {metric.help}",
+                            f"# TYPE {metric.name} {metric.kind}"]
+            lines.extend(rendered)
+        lines.extend(self.callback_errors.render())
         return "\n".join(lines) + "\n"
 
 
@@ -318,6 +353,15 @@ class ServiceMetrics:
         self.work_total = r.counter(
             "kaskade_query_work_total",
             "Traversal work (vertices scanned + edges expanded) of served queries")
+        self.wal_fsync_latency = r.histogram(
+            "kaskade_wal_fsync_latency_seconds",
+            "Duration of WAL segment fsyncs (the commit acknowledgement "
+            "critical path)",
+            buckets=(0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+                     0.025, 0.05, 0.1, 0.25, 1.0))
+        self.injected_faults = r.counter(
+            "kaskade_injected_faults_total",
+            "Faults the chaos injector actually fired, by point and mode")
         self.kernel_dispatch = r.counter(
             "kaskade_kernel_dispatch_total",
             "Kernel tier decisions (path=vectorized/loops/reference) made "
@@ -382,6 +426,62 @@ class ServiceMetrics:
             "kaskade_head_version",
             "Graph version of the current head snapshot",
             lambda: float(snapshots.head_version()))
+
+    def bind_durability(self, engine) -> None:
+        """Wire a :class:`~repro.durability.DurabilityEngine` into the scrape.
+
+        The WAL's fsync observer feeds the latency histogram; record,
+        replay, and checkpoint totals are sampled from the engine's own
+        counters at scrape time.
+        """
+        engine.wal.fsync_observer = self.wal_fsync_latency.observe
+        r = self.registry
+        r.counter_callback(
+            "kaskade_wal_records_total",
+            "WAL records appended (batches + markers) by the live engine",
+            lambda: float(engine.wal.records_appended))
+        r.counter_callback(
+            "kaskade_wal_replayed_records_total",
+            "WAL records read back by recovery passes",
+            lambda: float(engine.counters["replayed_records"]))
+        r.counter_callback(
+            "kaskade_wal_replayed_batches_total",
+            "Acknowledged commit batches re-applied by recovery passes",
+            lambda: float(engine.counters["replayed_batches"]))
+        r.counter_callback(
+            "kaskade_checkpoints_total",
+            "Checkpoints written (baseline, periodic, and post-recovery)",
+            lambda: float(engine.counters["checkpoints_written"]))
+        r.gauge_callback(
+            "kaskade_wal_segments",
+            "WAL segment files currently on disk",
+            lambda: float(len(engine.wal.segment_paths())))
+        r.gauge_callback(
+            "kaskade_commits_since_checkpoint",
+            "Durable commits accumulated since the last checkpoint",
+            lambda: float(engine.describe()["commits_since_checkpoint"]))
+        r.gauge_callback(
+            "kaskade_durability_ready",
+            "1 once recovery/initialization completed and commits are "
+            "accepted, else 0",
+            lambda: 1.0 if engine.ready else 0.0)
+
+    def bind_faults(self, injector) -> None:
+        """Mirror every injected fault into ``kaskade_injected_faults_total``."""
+        injector.attach_counter(self.injected_faults)
+
+    def bind_breaker(self, breaker) -> None:
+        """Register gauges over a :class:`~repro.service.client.CircuitBreaker`."""
+        r = self.registry
+        r.gauge_callback(
+            "kaskade_circuit_breaker_state",
+            "Breaker state by name (0=closed, 1=half-open, 2=open)",
+            lambda: [({"breaker": breaker.name},
+                      {"closed": 0.0, "half-open": 1.0, "open": 2.0}[breaker.state])])
+        r.gauge_callback(
+            "kaskade_circuit_breaker_failures",
+            "Failures currently inside the breaker's rolling window",
+            lambda: [({"breaker": breaker.name}, float(breaker.recent_failures))])
 
     def bind_admission(self, admission) -> None:
         """Register callback gauges over an :class:`AdmissionController`."""

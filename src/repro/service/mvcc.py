@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping, Sequence
 
 from repro.core.kaskade import Kaskade, QueryOutcome
+from repro.durability.manager import MUTATION_OPS, DurabilityEngine, apply_op
 from repro.errors import ServiceError, StaleSnapshotError
 from repro.query.ast import GraphQuery
 from repro.query.plan import PhysicalExecutor
@@ -46,8 +47,10 @@ from repro.storage.csr import CSRGraphStore
 from repro.views.definitions import SummarizerView
 from repro.views.delta import RefreshReport
 
-#: Mutation op kinds accepted by :meth:`SnapshotManager.commit`.
-MUTATION_OPS = ("add_vertex", "remove_vertex", "add_edge", "remove_edge")
+# MUTATION_OPS is imported (and re-exported) from repro.durability.manager:
+# the op vocabulary and its interpreter live there so WAL replay and the
+# live commit path share one implementation.
+assert MUTATION_OPS  # re-export; keeps `from repro.service.mvcc import MUTATION_OPS` working
 
 
 @dataclass(frozen=True)
@@ -126,7 +129,8 @@ class SnapshotManager:
     """
 
     def __init__(self, kaskade: Kaskade, *, max_retained: int = 8,
-                 advance_changelog_floor: bool = True) -> None:
+                 advance_changelog_floor: bool = True,
+                 durability: DurabilityEngine | None = None) -> None:
         """Wrap a Kaskade instance with MVCC serving semantics.
 
         Args:
@@ -137,10 +141,19 @@ class SnapshotManager:
                 pinned snapshots are always kept until released.
             advance_changelog_floor: Truncate the mutation log up to the
                 oldest version any retained snapshot or view still needs.
+            durability: Optional :class:`~repro.durability.DurabilityEngine`;
+                when given, every commit is write-ahead logged (batch record
+                before apply, fsync'd marker before acknowledgement) and
+                periodically checkpointed, making commits crash-safe.  An
+                uninitialized engine is initialized here (baseline
+                checkpoint of the current graph).
         """
         self.kaskade = kaskade
         self.max_retained = max(1, max_retained)
         self.advance_changelog_floor = advance_changelog_floor
+        self.durability = durability
+        if durability is not None and not durability.ready:
+            durability.initialize(kaskade)
         # Single-writer commit path: held across apply + maintenance + publish.
         self._write_lock = threading.Lock()
         # Control-plane lock guarding the snapshot map, head pointer, and pin
@@ -261,10 +274,24 @@ class SnapshotManager:
         """
         start = time.perf_counter()
         graph = self.kaskade.graph
+        durability = self.durability
         with self._write_lock:
+            commit_id = None
+            if durability is not None:
+                # Checkpoint at the *start* of a commit: a crash inside the
+                # checkpointer can then never make this (unacknowledged)
+                # commit durable, and the WAL batch below lands in a log
+                # whose base is exactly the checkpointed state.
+                durability.maybe_checkpoint(self.kaskade)
+                commit_id = durability.log_batch(ops, base_version=graph.version)
             applied = 0
             errors: list[str] = []
             for op in ops:
+                if durability is not None:
+                    # Fired outside the per-op try/except: an injected apply
+                    # fault must surface as a crash, never be swallowed as a
+                    # per-op error (replay would not re-fire it).
+                    durability.check_apply_fault()
                 try:
                     self._apply(graph, op)
                     applied += 1
@@ -273,35 +300,18 @@ class SnapshotManager:
             refresh = None
             if refresh_views and len(self.kaskade.catalog):
                 refresh = self.kaskade.refresh_views()
+            if durability is not None and commit_id is not None:
+                # The marker's fsync is the durability point; only after it
+                # returns is the commit acknowledged to the caller.
+                durability.log_marker(commit_id, version=graph.version,
+                                      applied=applied)
             snapshot = self._publish()
         return CommitResult(version=snapshot.version, applied=applied,
                             errors=errors, refresh=refresh,
                             elapsed_seconds=time.perf_counter() - start)
 
-    @staticmethod
-    def _apply(graph, op: Mapping[str, Any]) -> None:
-        kind = op.get("op")
-        if kind == "add_vertex":
-            graph.add_vertex(op["id"], op["type"], **op.get("properties", {}))
-        elif kind == "remove_vertex":
-            graph.remove_vertex(op["id"])
-        elif kind == "add_edge":
-            graph.add_edge(op["source"], op["target"], op["label"],
-                           **op.get("properties", {}))
-        elif kind == "remove_edge":
-            if "edge_id" in op:
-                graph.remove_edge(op["edge_id"])
-            else:
-                edge = next((e for e in graph.out_edges(op["source"], op.get("label"))
-                             if e.target == op["target"]), None)
-                if edge is None:
-                    raise ServiceError(
-                        f"no edge {op.get('source')!r}->{op.get('target')!r} "
-                        f"with label {op.get('label')!r}")
-                graph.remove_edge(edge.id)
-        else:
-            raise ServiceError(
-                f"unknown mutation op {kind!r}; expected one of {MUTATION_OPS}")
+    #: Shared op interpreter — WAL replay runs the exact same code path.
+    _apply = staticmethod(apply_op)
 
     def _build_snapshot(self) -> Snapshot:
         graph = self.kaskade.graph

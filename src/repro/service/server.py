@@ -35,13 +35,17 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import threading
 import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Mapping
 
 from repro.core.kaskade import Kaskade
+from repro.durability.manager import DurabilityEngine
 from repro.errors import (
     AdmissionError,
     KaskadeError,
@@ -54,11 +58,14 @@ from repro.graph.property_graph import PropertyGraph
 from repro.service.admission import AdmissionController, AdmissionPolicy
 from repro.service.metrics import ServiceMetrics
 from repro.service.mvcc import SnapshotManager
+from repro.testing.faults import FaultInjector, InjectedCrash
+
+logger = logging.getLogger("repro.service")
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 410: "Gone", 413: "Payload Too Large",
             422: "Unprocessable Entity", 429: "Too Many Requests",
-            500: "Internal Server Error"}
+            500: "Internal Server Error", 503: "Service Unavailable"}
 
 
 @dataclass
@@ -93,26 +100,92 @@ class GraphService:
                  policy: AdmissionPolicy | None = None,
                  metrics: ServiceMetrics | None = None,
                  snapshots: SnapshotManager | None = None,
-                 max_retained_snapshots: int = 8) -> None:
+                 max_retained_snapshots: int = 8,
+                 durability: DurabilityEngine | None = None,
+                 faults: FaultInjector | None = None) -> None:
         if kaskade is None:
             if graph is None:
                 raise ServiceError("GraphService needs a Kaskade instance or a graph")
             kaskade = Kaskade(graph)
         self.kaskade = kaskade
+        self.durability = durability
+        self.faults = faults
         self.snapshots = snapshots or SnapshotManager(
-            kaskade, max_retained=max_retained_snapshots)
+            kaskade, max_retained=max_retained_snapshots, durability=durability)
         self.admission = AdmissionController(policy)
         self.metrics = metrics or ServiceMetrics()
         self.metrics.bind_snapshots(self.snapshots)
         self.metrics.bind_admission(self.admission)
+        if durability is not None:
+            self.metrics.bind_durability(durability)
+        if faults is not None:
+            self.metrics.bind_faults(faults)
         # Thread the registry through Kaskade.execute: direct library calls
         # and snapshot-pinned serving both feed the same instruments.
         kaskade.metrics = self.metrics
         self.started_at = time.time()
 
+    @classmethod
+    def open_durable(cls, root: str | Path, *,
+                     graph: PropertyGraph | None = None,
+                     policy: AdmissionPolicy | None = None,
+                     metrics: ServiceMetrics | None = None,
+                     faults: FaultInjector | None = None,
+                     checkpoint_every: int = 64,
+                     segment_bytes: int | None = None,
+                     fsync: bool | None = None) -> "GraphService":
+        """Open a crash-safe service rooted at ``root``.
+
+        First start: checkpoints ``graph`` (an empty graph by default) as the
+        recovery baseline.  Restart: recovers from the newest valid
+        checkpoint + WAL tail before serving — ``/health/ready`` reports 503
+        until that completes, and every subsequent commit is write-ahead
+        logged.
+        """
+        engine = DurabilityEngine(root, faults=faults,
+                                  checkpoint_every=checkpoint_every,
+                                  segment_bytes=segment_bytes, fsync=fsync)
+        if engine.checkpoints.latest_valid() is not None:
+            kaskade, result = engine.recover()
+            logger.info("recovered %s: %s", str(root), result.describe())
+        else:
+            kaskade = Kaskade(graph if graph is not None
+                              else PropertyGraph(name="graph"))
+        return cls(kaskade, policy=policy, metrics=metrics,
+                   durability=engine, faults=faults)
+
+    @property
+    def ready(self) -> bool:
+        """Readiness: durable services are not ready until recovery finished."""
+        return self.durability.ready if self.durability is not None else True
+
     # ----------------------------------------------------------------- routes
     def handle(self, method: str, path: str, payload: Mapping[str, Any] | None) -> Response:
-        """Dispatch one request (transport-agnostic)."""
+        """Dispatch one request (transport-agnostic).
+
+        Error hygiene: an unexpected exception never leaks a traceback to
+        the client — it becomes a 500 carrying a short ``error_id`` while
+        the full traceback goes to the server-side log under the same id.
+        :class:`~repro.testing.faults.InjectedCrash` is *not* caught: a
+        simulated process death must kill the serving loop, exactly like a
+        real one.
+        """
+        try:
+            if self.faults is not None:
+                self.faults.check("server.handle")
+            return self._route(method, path, payload)
+        except InjectedCrash:
+            raise
+        except Exception:  # noqa: BLE001 - translated to an opaque 500
+            error_id = uuid.uuid4().hex[:8]
+            logger.exception("unhandled error %s serving %s %s",
+                             error_id, method, path)
+            self.metrics.observe_error()
+            return Response(500, {"error": "internal server error",
+                                  "error_id": error_id})
+
+    def _route(self, method: str, path: str,
+               payload: Mapping[str, Any] | None) -> Response:
         route = (method.upper(), path.rstrip("/") or "/")
         if route == ("POST", "/query"):
             return self.handle_query(payload or {})
@@ -126,12 +199,29 @@ class GraphService:
             return Response(200, self.metrics.render(),
                             content_type="text/plain; version=0.0.4")
         if route == ("GET", "/health"):
-            return Response(200, {"status": "ok",
+            return Response(200, {"status": "ok", "ready": self.ready,
                                   "uptime_seconds": time.time() - self.started_at})
+        if route == ("GET", "/health/live"):
+            # Liveness: the process answers requests at all.
+            return Response(200, {"status": "alive"})
+        if route == ("GET", "/health/ready"):
+            return self.handle_ready()
         if path.rstrip("/") in ("/query", "/mutate", "/views", "/snapshots",
-                                "/metrics", "/health"):
+                                "/metrics", "/health", "/health/live",
+                                "/health/ready"):
             return Response(405, {"error": f"method {method} not allowed for {path}"})
         return Response(404, {"error": f"no route for {path}"})
+
+    def handle_ready(self) -> Response:
+        """GET /health/ready — 503 until recovery/initialization completed."""
+        body: dict[str, Any] = {"ready": self.ready}
+        if self.durability is not None and self.durability.last_recovery is not None:
+            body["recovery"] = self.durability.last_recovery.describe()
+        if not self.ready:
+            body["status"] = "recovering"
+            return Response(503, body, headers={"Retry-After": "1"})
+        body["status"] = "ready"
+        return Response(200, body)
 
     def handle_query(self, payload: Mapping[str, Any]) -> Response:
         """POST /query — admission-controlled, snapshot-isolated execution."""
@@ -456,5 +546,13 @@ def create_fastapi_app(service: GraphService):
     @app.get("/health")
     async def health():  # pragma: no cover - thin adapter
         return _convert(service.handle("GET", "/health", None))
+
+    @app.get("/health/live")
+    async def health_live():  # pragma: no cover - thin adapter
+        return _convert(service.handle("GET", "/health/live", None))
+
+    @app.get("/health/ready")
+    async def health_ready():  # pragma: no cover - thin adapter
+        return _convert(service.handle("GET", "/health/ready", None))
 
     return app

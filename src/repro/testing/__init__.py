@@ -1,0 +1,30 @@
+"""Deterministic test harnesses shared by the repo's torture suites.
+
+:mod:`repro.testing.faults` provides the seeded fault injector the durability
+layer (:mod:`repro.durability`) and the serving layer
+(:mod:`repro.service.server`) thread through their named fault points, so
+crash-recovery tests can kill the system at every interesting instant and
+assert that recovery reproduces exactly the acknowledged prefix.
+"""
+
+from repro.testing.faults import (
+    CHAOS_SEED_ENV,
+    FAULT_POINTS,
+    FaultAction,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    InjectedFault,
+    chaos_seed,
+)
+
+__all__ = [
+    "CHAOS_SEED_ENV",
+    "FAULT_POINTS",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedFault",
+    "chaos_seed",
+]

@@ -1,0 +1,277 @@
+"""Deterministic, seeded fault injection for crash-safety torture tests.
+
+Durability claims are only as strong as the worst crash they survive, so the
+WAL, the checkpointer, the commit path, and the HTTP front end each expose
+**named fault points** — fixed strings threaded to one shared
+:class:`FaultInjector`:
+
+========================  =====================================================
+``wal.append``            Before a WAL record's bytes are written.  Supports
+                          *torn writes*: only a prefix of the framed record
+                          reaches the file before the simulated crash.
+``wal.fsync``             Before ``os.fsync`` on a WAL segment.  A failing
+                          fsync leaves durability unknown, so ``raise`` plans
+                          here are escalated to crashes (fsyncgate semantics).
+``checkpoint.write``      Before a checkpoint's manifest is committed: data
+                          files may exist but the checkpoint is not yet valid.
+``commit.apply``          Before each mutation op is applied to the live
+                          graph.  Escalated to a crash like ``wal.fsync`` —
+                          a half-applied batch must never keep serving.
+``server.handle``         Before the service routes a request; exercises the
+                          500-with-error-id hygiene path and client retries.
+========================  =====================================================
+
+Plans are **deterministic**: the injector is seeded (``seed`` argument, or
+the ``CHAOS_SEED`` environment knob used by the CI torture matrix), every
+probabilistic draw comes from that seed in hit order, and ``after=N`` plans
+fire on exactly the (N+1)-th hit of their point.  Two runs with the same
+seed and the same call sequence inject the same faults at the same instants.
+
+Modes:
+
+* ``"raise"`` — raise :class:`InjectedFault` (a recoverable infrastructure
+  error; the server maps it to a 500 with an error id).
+* ``"crash"`` — raise :class:`InjectedCrash` (simulated process death; the
+  torture harness catches it, simulates power loss, and runs recovery).
+* ``"torn_write"`` — for byte-writing points: :meth:`FaultInjector.check`
+  returns a :class:`FaultAction` telling the caller how many bytes of the
+  frame to write before raising :class:`InjectedCrash` itself.  At points
+  that do not write bytes this degrades to ``"crash"``.
+* ``"latency"`` — sleep ``latency_seconds``, then continue normally.
+
+Neither exception derives from :class:`~repro.errors.KaskadeError` on
+purpose: the service's typed error handling must treat an injected fault
+exactly like an unexpected infrastructure failure, not a known engine error.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: Environment knob seeding the injector when no explicit seed is given; the
+#: CI crash-torture leg runs the same sweep under several values of it.
+CHAOS_SEED_ENV = "CHAOS_SEED"
+
+#: Every named fault point the system threads through the injector.
+FAULT_POINTS = ("wal.append", "wal.fsync", "checkpoint.write", "commit.apply",
+                "server.handle")
+
+#: Supported plan modes.
+FAULT_MODES = ("raise", "crash", "torn_write", "latency")
+
+#: Fault points where a ``raise`` plan is escalated to a crash because the
+#: system cannot keep running correctly past a failure there (an fsync of
+#: unknown outcome; a batch half-applied to the live graph).
+_FATAL_POINTS = frozenset({"wal.fsync", "commit.apply"})
+
+
+def chaos_seed(default: int = 0) -> int:
+    """The torture seed: ``CHAOS_SEED`` from the environment, else ``default``."""
+    raw = os.environ.get(CHAOS_SEED_ENV, "")
+    try:
+        return int(raw) if raw else default
+    except ValueError:
+        return default
+
+
+class InjectedFault(Exception):
+    """An injected, recoverable infrastructure fault at a named point."""
+
+    def __init__(self, point: str, mode: str = "raise") -> None:
+        super().__init__(f"injected fault at {point!r} (mode={mode})")
+        self.point = point
+        self.mode = mode
+
+
+class InjectedCrash(InjectedFault):
+    """Simulated process death: abandon in-memory state, recover from disk.
+
+    Torture harnesses catch this, call
+    :meth:`~repro.durability.wal.WriteAheadLog.simulate_power_loss` (dropping
+    every byte that was never fsynced, exactly like a power cut), and then
+    run recovery in a "new process".
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(point, mode="crash")
+
+
+@dataclass
+class FaultPlan:
+    """One armed fault: where, what, and when it fires.
+
+    Attributes:
+        point: Fault-point name (see :data:`FAULT_POINTS`; unknown names are
+            allowed so tests can invent private points).
+        mode: One of :data:`FAULT_MODES`.
+        after: Hits of the point to let pass before the plan may fire
+            (``after=2`` fires on the third hit).
+        times: Number of firings before the plan retires (None = unlimited).
+        probability: Chance of firing on each eligible hit, drawn from the
+            injector's seeded RNG (1.0 = always).
+        latency_seconds: Sleep duration for ``"latency"`` plans.
+        torn_fraction: Fraction of the frame written by a ``"torn_write"``
+            plan; None draws a deterministic fraction in (0, 1) per firing.
+    """
+
+    point: str
+    mode: str = "raise"
+    after: int = 0
+    times: int | None = 1
+    probability: float = 1.0
+    latency_seconds: float = 0.0
+    torn_fraction: float | None = None
+    fired: int = field(default=0, init=False)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.times is not None and self.fired >= self.times
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What a byte-writing caller must do for a ``torn_write`` firing."""
+
+    point: str
+    #: Bytes of the frame to write before raising :class:`InjectedCrash`.
+    write_bytes: int
+
+
+class FaultInjector:
+    """Seeded registry of fault plans, hit counters, and injection counters.
+
+    Example:
+        >>> faults = FaultInjector(seed=7)
+        >>> _ = faults.plan("wal.append", mode="crash", after=1)
+        >>> faults.check("wal.append")  # first hit: passes
+        >>> try:
+        ...     faults.check("wal.append")  # second hit: crash
+        ... except InjectedCrash as crash:
+        ...     crash.point
+        'wal.append'
+    """
+
+    def __init__(self, seed: int | None = None) -> None:
+        self.seed = chaos_seed() if seed is None else seed
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+        self._plans: dict[str, list[FaultPlan]] = {}
+        self._hits: dict[str, int] = {}
+        #: (point, mode) -> number of injections actually performed.
+        self.injected: dict[tuple[str, str], int] = {}
+        # Optional metrics counter (duck-typed: inc(point=..., mode=...)).
+        self._counter = None
+
+    # ---------------------------------------------------------------- arming
+    def plan(self, point: str, mode: str = "raise", *, after: int = 0,
+             times: int | None = 1, probability: float = 1.0,
+             latency_seconds: float = 0.0,
+             torn_fraction: float | None = None) -> FaultPlan:
+        """Arm one fault plan; returns it (its ``fired`` counter is live)."""
+        if mode not in FAULT_MODES:
+            raise ValueError(f"unknown fault mode {mode!r}; expected one of {FAULT_MODES}")
+        armed = FaultPlan(point=point, mode=mode, after=after, times=times,
+                          probability=probability,
+                          latency_seconds=latency_seconds,
+                          torn_fraction=torn_fraction)
+        with self._lock:
+            self._plans.setdefault(point, []).append(armed)
+        return armed
+
+    def arm_crash(self, point: str, after: int = 0) -> FaultPlan:
+        """Shorthand for the torture sweep's bread and butter."""
+        return self.plan(point, mode="crash", after=after)
+
+    def clear(self, point: str | None = None) -> None:
+        """Disarm every plan (for ``point`` only, when given)."""
+        with self._lock:
+            if point is None:
+                self._plans.clear()
+            else:
+                self._plans.pop(point, None)
+
+    def attach_counter(self, counter) -> None:
+        """Mirror every injection into ``counter.inc(point=..., mode=...)``."""
+        self._counter = counter
+
+    # -------------------------------------------------------------- counters
+    def hits(self, point: str) -> int:
+        """Times ``point`` has been reached (fired or not)."""
+        with self._lock:
+            return self._hits.get(point, 0)
+
+    def injected_total(self, point: str | None = None) -> int:
+        with self._lock:
+            return sum(count for (p, _), count in self.injected.items()
+                       if point is None or p == point)
+
+    # ------------------------------------------------------------- injection
+    def check(self, point: str, *, payload_len: int | None = None) -> FaultAction | None:
+        """Hit a fault point; inject whatever is armed and due.
+
+        Args:
+            point: The fault point's name.
+            payload_len: Length in bytes of the frame about to be written,
+                for points that support torn writes.
+
+        Returns:
+            A :class:`FaultAction` when a ``torn_write`` plan fired and the
+            caller must write a prefix then raise :class:`InjectedCrash`;
+            None when nothing fired (or a latency plan already slept).
+
+        Raises:
+            InjectedFault: A ``raise`` plan fired (at non-fatal points).
+            InjectedCrash: A ``crash`` plan fired, or a ``raise``/
+                ``torn_write`` plan fired somewhere it must escalate.
+        """
+        with self._lock:
+            hit = self._hits.get(point, 0)
+            self._hits[point] = hit + 1
+            plan = self._due_plan(point, hit)
+            if plan is None:
+                return None
+            plan.fired += 1
+            mode = plan.mode
+            if mode == "torn_write" and (payload_len is None or payload_len < 2):
+                mode = "crash"  # nothing to tear at this point
+            key = (point, mode)
+            self.injected[key] = self.injected.get(key, 0) + 1
+            if mode == "torn_write":
+                fraction = plan.torn_fraction
+                if fraction is None:
+                    fraction = self._rng.uniform(0.05, 0.95)
+                write_bytes = max(1, min(payload_len - 1,
+                                         int(payload_len * fraction)))
+            latency = plan.latency_seconds
+        counter = self._counter
+        if counter is not None:
+            counter.inc(point=point, mode=mode)
+        if mode == "latency":
+            time.sleep(latency)
+            return None
+        if mode == "crash":
+            raise InjectedCrash(point)
+        if mode == "torn_write":
+            return FaultAction(point=point, write_bytes=write_bytes)
+        if point in _FATAL_POINTS:
+            raise InjectedCrash(point)
+        raise InjectedFault(point)
+
+    def _due_plan(self, point: str, hit: int) -> FaultPlan | None:
+        """The first armed plan due on this hit (lock held by caller)."""
+        for plan in self._plans.get(point, ()):
+            if plan.exhausted or hit < plan.after:
+                continue
+            if plan.probability < 1.0 and self._rng.random() >= plan.probability:
+                continue
+            return plan
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            armed = {point: len(plans) for point, plans in self._plans.items() if plans}
+        return f"FaultInjector(seed={self.seed}, armed={armed}, injected={self.injected})"

@@ -790,3 +790,140 @@ def run_concurrent_workload(graph: PropertyGraph,
                     f"for {query_name}: {len(observed)} observed vs "
                     f"{len(expected)} expected")
     return result
+
+
+# --------------------------------------------------------- crash-recovery
+@dataclass
+class CrashRecoveryResult:
+    """Outcome of one crash-recovery torture run.
+
+    The invariant the differential asserts: after a crash at any fault
+    point, the recovered graph is **exactly** the acknowledged prefix —
+    identical fingerprint (vertices, edges *with ids*, properties),
+    identical version counter, identical interpreter rows.  No acknowledged
+    commit lost, no unacknowledged commit resurrected.
+    """
+
+    fault_point: str | None
+    crashed: bool = False
+    attempted_batches: int = 0
+    acknowledged_batches: int = 0
+    failed_batches: int = 0
+    recovered_version: int = 0
+    oracle_version: int = 0
+    recovery: object | None = None
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_crash_recovery_workload(graph: PropertyGraph, *, root,
+                                fault_point: str | None = None,
+                                fault_mode: str = "crash",
+                                crash_after: int = 0,
+                                num_batches: int = 12,
+                                mutations_per_batch: int = 6,
+                                seed: int = 17,
+                                checkpoint_every: int = 4,
+                                segment_bytes: int = 4096,
+                                remove_fraction: float = 0.3,
+                                queries: Sequence[GraphQuery] | None = None
+                                ) -> CrashRecoveryResult:
+    """Drive durable commits into a crash, recover, and differentially verify.
+
+    Mutation batches go through the full service stack
+    (:meth:`~repro.service.server.GraphService.handle` — so the
+    ``server.handle`` fault point participates), with one fault armed at
+    ``fault_point`` (hit number ``crash_after``).  A serial **oracle** graph
+    — an id-preserving clone of the seed — applies exactly the batches the
+    service *acknowledged* (HTTP 200).  On crash the harness simulates power
+    loss (unsynced WAL bytes vanish), recovers in a "new process", and
+    asserts oracle equality three ways: graph fingerprint (edge ids
+    included), version counter, and interpreter rows for ``queries``.
+
+    Args:
+        graph: Seed graph; mutated in place by the live service.
+        root: Durability root directory (WAL + checkpoints).
+        fault_point: One of :data:`~repro.testing.faults.FAULT_POINTS`, or
+            None for a fault-free run ending in an abrupt power cut.
+        fault_mode: Plan mode (``"crash"``, ``"raise"``, ``"torn_write"``).
+        crash_after: Hits of the point to let pass before firing.
+        checkpoint_every: Commits between checkpoints — kept small so the
+            sweep exercises checkpoint boundaries, not just WAL replay.
+        segment_bytes: WAL rollover threshold — small, to cross segments.
+        queries: Parsed queries for the interpreter row differential.
+    """
+    from repro.core.kaskade import Kaskade  # deferred: core imports workloads' peers
+    from repro.durability import DurabilityEngine, apply_op, recover_kaskade
+    from repro.graph.io import graph_fingerprint, graph_from_dict, graph_to_dict
+    from repro.query.executor import QueryExecutor
+    from repro.service.server import GraphService
+    from repro.testing.faults import FaultInjector, InjectedCrash
+
+    # Id-preserving clone: remove_edge-by-id ops must mean the same edge on
+    # both sides, which PropertyGraph.copy (it renumbers ids) cannot give.
+    oracle = graph_from_dict(graph_to_dict(graph, include_ids=True))
+    faults = FaultInjector(seed=seed)
+    engine = DurabilityEngine(root, faults=faults,
+                              checkpoint_every=checkpoint_every,
+                              segment_bytes=segment_bytes)
+    service = GraphService(Kaskade(graph), durability=engine, faults=faults)
+    # Arm only after boot: the baseline checkpoint is setup, not traffic.
+    if fault_point is not None:
+        faults.plan(fault_point, mode=fault_mode, after=crash_after)
+    result = CrashRecoveryResult(fault_point=fault_point)
+    rng = random.Random(seed + 1)
+    vertex_type = next(iter(sorted(graph.vertex_types())), "Vertex")
+    for batch in range(num_batches):
+        ops = generate_mutation_ops(oracle, mutations_per_batch, rng,
+                                    remove_fraction=remove_fraction)
+        ops.append({"op": "add_vertex", "id": f"crash_v{batch}",
+                    "type": vertex_type})
+        result.attempted_batches += 1
+        try:
+            response = service.handle("POST", "/mutate", {"ops": ops})
+        except InjectedCrash:
+            result.crashed = True
+            break
+        if response.status == 200:
+            # Acknowledged: the durable marker fsynced.  Mirror the batch
+            # into the oracle with the same per-op error tolerance.
+            result.acknowledged_batches += 1
+            for op in ops:
+                try:
+                    apply_op(oracle, op)
+                except Exception:  # noqa: BLE001 - mirrors commit semantics
+                    pass
+        else:
+            # 500 with an error id (injected raise): the service survived
+            # and nothing was applied or acknowledged.
+            result.failed_batches += 1
+    # Power cut — abrupt even when no fault fired: every run must recover
+    # from exactly its fsynced bytes.
+    engine.simulate_power_loss()
+    recovered, _engine, recovery = recover_kaskade(root)
+    result.recovery = recovery
+    result.recovered_version = recovered.graph.version
+    result.oracle_version = oracle.version
+    if recovered.graph.version != oracle.version:
+        result.violations.append(
+            f"recovered version {recovered.graph.version} != acknowledged "
+            f"oracle version {oracle.version}")
+    if graph_fingerprint(recovered.graph) != graph_fingerprint(oracle):
+        result.violations.append(
+            "recovered graph fingerprint diverges from the "
+            "acknowledged-prefix oracle")
+    for query in queries or ():
+        expected = _normalize_rows(
+            QueryExecutor(oracle, engine="interpreter").execute(query).rows)
+        actual = _normalize_rows(
+            QueryExecutor(recovered.graph,
+                          engine="interpreter").execute(query).rows)
+        if expected != actual:
+            result.violations.append(
+                f"interpreter rows diverge after recovery for "
+                f"{query.name or query.structural_signature()}: "
+                f"{len(actual)} recovered vs {len(expected)} oracle")
+    return result

@@ -1,0 +1,114 @@
+"""Checkpoints: manifest-committed snapshots that survive torn writes."""
+
+import json
+
+import pytest
+
+from repro.core.kaskade import Kaskade
+from repro.datasets.provenance import provenance_graph
+from repro.durability.checkpoint import MANIFEST_NAME, CheckpointManager
+from repro.errors import DurabilityError
+from repro.graph.io import graph_fingerprint
+from repro.graph.property_graph import PropertyGraph
+from repro.testing.faults import FaultInjector, InjectedFault
+from repro.views.definitions import job_to_job_connector
+
+
+@pytest.fixture
+def graph() -> PropertyGraph:
+    graph = provenance_graph(num_jobs=12, seed=5)
+    # Leave a hole in the edge-id space so the round trip must preserve ids,
+    # not merely re-count them.
+    first_edge = next(iter(graph.edges()))
+    graph.remove_edge(first_edge.id)
+    return graph
+
+
+class TestWriteLoad:
+    def test_round_trip_preserves_ids_and_counters(self, tmp_path, graph):
+        manager = CheckpointManager(tmp_path)
+        manager.write(graph, [])
+        restored, views = manager.load()
+        assert views == []
+        assert restored.version == graph.version
+        assert restored.next_edge_id == graph.next_edge_id
+        assert graph_fingerprint(restored) == graph_fingerprint(graph)
+        assert sorted(e.id for e in restored.edges()) == \
+            sorted(e.id for e in graph.edges())
+
+    def test_views_round_trip(self, tmp_path, graph):
+        kaskade = Kaskade(graph)
+        view = kaskade.materialize_view(job_to_job_connector(k=2))
+        manager = CheckpointManager(tmp_path)
+        manager.write(graph, list(kaskade.catalog))
+        _, views = manager.load()
+        assert [v.definition.name for v in views] == [view.definition.name]
+        assert views[0].graph.num_edges == view.graph.num_edges
+
+    def test_load_without_any_checkpoint_raises(self, tmp_path):
+        with pytest.raises(DurabilityError, match="no valid checkpoint"):
+            CheckpointManager(tmp_path).load()
+
+
+class TestValidation:
+    def test_manifestless_directory_is_invisible(self, tmp_path, graph):
+        manager = CheckpointManager(tmp_path)
+        info = manager.write(graph, [])
+        (tmp_path / "checkpoint-00000099-v999").mkdir()
+        assert manager.latest_valid().checkpoint_id == info.checkpoint_id
+
+    def test_tampered_manifest_crc_is_invisible(self, tmp_path, graph):
+        manager = CheckpointManager(tmp_path)
+        first = manager.write(graph, [])
+        graph.add_vertex("extra", "Job")
+        second = manager.write(graph, [])
+        manifest_path = second.path / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["body"]["version"] += 1  # body no longer matches its crc
+        manifest_path.write_text(json.dumps(manifest))
+        assert manager.latest_valid().checkpoint_id == first.checkpoint_id
+
+    def test_corrupt_data_file_is_invisible(self, tmp_path, graph):
+        manager = CheckpointManager(tmp_path)
+        first = manager.write(graph, [])
+        graph.add_vertex("extra", "Job")
+        second = manager.write(graph, [])
+        victim = next(p for p in sorted(second.path.iterdir())
+                      if p.name != MANIFEST_NAME and p.stat().st_size > 0)
+        data = bytearray(victim.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        assert manager.latest_valid().checkpoint_id == first.checkpoint_id
+
+    def test_crash_before_manifest_leaves_previous_checkpoint(self, tmp_path,
+                                                              graph):
+        faults = FaultInjector(seed=2)
+        manager = CheckpointManager(tmp_path, faults=faults)
+        first = manager.write(graph, [])
+        graph.add_vertex("extra", "Job")
+        faults.plan("checkpoint.write", mode="raise")
+        with pytest.raises(InjectedFault):
+            manager.write(graph, [])
+        latest = manager.latest_valid()
+        assert latest.checkpoint_id == first.checkpoint_id
+        restored, _ = manager.load(latest)
+        assert not restored.has_vertex("extra")
+
+
+class TestPruning:
+    def test_prune_keeps_newest_valid_and_sweeps_torn(self, tmp_path, graph):
+        faults = FaultInjector(seed=2)
+        manager = CheckpointManager(tmp_path, faults=faults, keep=2)
+        for index in range(4):
+            graph.add_vertex(f"p{index}", "Job")
+            manager.write(graph, [])
+        faults.plan("checkpoint.write", mode="raise")
+        with pytest.raises(InjectedFault):
+            manager.write(graph, [])
+        faults.clear()
+        survivor = manager.write(graph, [])  # newer than the torn directory
+        deleted = manager.prune()
+        assert deleted >= 3
+        remaining = sorted(p.name for p in tmp_path.glob("checkpoint-*"))
+        assert len(remaining) == 2
+        assert manager.latest_valid().checkpoint_id == survivor.checkpoint_id

@@ -1,0 +1,146 @@
+"""DurabilityEngine: commit logging, replay filters, recovery verification."""
+
+import pytest
+
+from repro.core.kaskade import Kaskade
+from repro.datasets.provenance import provenance_graph
+from repro.durability import DurabilityEngine, recover_kaskade
+from repro.errors import RecoveryError
+from repro.graph.io import graph_fingerprint
+from repro.service.mvcc import SnapshotManager
+from repro.views.definitions import job_to_job_connector
+
+
+@pytest.fixture
+def stack(tmp_path):
+    """A durable SnapshotManager over a small provenance graph."""
+    kaskade = Kaskade(provenance_graph(num_jobs=10, seed=4))
+    engine = DurabilityEngine(tmp_path, checkpoint_every=100)
+    snapshots = SnapshotManager(kaskade, durability=engine)
+    return kaskade, engine, snapshots
+
+
+def commit_vertices(snapshots, count, prefix="r"):
+    for index in range(count):
+        snapshots.commit([{"op": "add_vertex", "id": f"{prefix}{index}",
+                           "type": "Job"}])
+
+
+class TestRecovery:
+    def test_acknowledged_commits_survive_power_loss(self, tmp_path, stack):
+        kaskade, engine, snapshots = stack
+        commit_vertices(snapshots, 5)
+        expected = graph_fingerprint(kaskade.graph)
+        version = kaskade.graph.version
+        engine.simulate_power_loss()
+        recovered, _, result = recover_kaskade(tmp_path)
+        assert result.replayed_batches == 5
+        assert recovered.graph.version == version
+        assert graph_fingerprint(recovered.graph) == expected
+
+    def test_batch_without_marker_is_discarded(self, tmp_path, stack):
+        kaskade, engine, snapshots = stack
+        commit_vertices(snapshots, 2)
+        version = kaskade.graph.version
+        # A batch record whose commit never acknowledged (no marker).
+        engine.log_batch([{"op": "add_vertex", "id": "ghost", "type": "Job"}],
+                         base_version=version)
+        engine.wal.sync()
+        engine.simulate_power_loss()
+        recovered, _, result = recover_kaskade(tmp_path)
+        assert result.discarded_batches == 1
+        assert result.replayed_batches == 2
+        assert not recovered.graph.has_vertex("ghost")
+        assert recovered.graph.version == version
+
+    def test_marker_at_or_below_checkpoint_version_is_skipped(self, tmp_path,
+                                                              stack):
+        kaskade, engine, snapshots = stack
+        commit_vertices(snapshots, 3)
+        # Simulate a crash between a checkpoint's manifest and its WAL
+        # reset: checkpoint the current state, then put the already-folded
+        # records back into the WAL.
+        engine.checkpoints.write(kaskade.graph, [],
+                                 version=kaskade.graph.version)
+        engine.wal.sync()
+        engine.simulate_power_loss()
+        recovered, _, result = recover_kaskade(tmp_path)
+        assert result.replayed_batches == 0
+        assert result.skipped_batches == 3
+        assert recovered.graph.version == kaskade.graph.version
+
+    def test_replay_detects_version_divergence(self, tmp_path, stack):
+        _, engine, snapshots = stack
+        commit_vertices(snapshots, 1)
+        engine.wal.append({"type": "batch", "commit_id": 99,
+                           "base_version": 12345, "ops": []})
+        engine.wal.append({"type": "marker", "commit_id": 99,
+                           "version": 12346, "applied": 0}, sync=True)
+        engine.simulate_power_loss()
+        with pytest.raises(RecoveryError, match="base version"):
+            recover_kaskade(tmp_path)
+
+    def test_marker_without_batch_is_rejected(self, tmp_path, stack):
+        kaskade, engine, _ = stack
+        engine.wal.append({"type": "marker", "commit_id": 7,
+                           "version": kaskade.graph.version + 1,
+                           "applied": 1}, sync=True)
+        engine.simulate_power_loss()
+        with pytest.raises(RecoveryError, match="no matching batch"):
+            recover_kaskade(tmp_path)
+
+    def test_unknown_record_type_is_rejected(self, tmp_path, stack):
+        _, engine, _ = stack
+        engine.wal.append({"type": "mystery"}, sync=True)
+        engine.simulate_power_loss()
+        with pytest.raises(RecoveryError, match="unknown WAL record"):
+            recover_kaskade(tmp_path)
+
+    def test_checkpoint_after_recovery_folds_the_tail(self, tmp_path, stack):
+        _, engine, snapshots = stack
+        commit_vertices(snapshots, 4)
+        engine.simulate_power_loss()
+        _, second_engine, first = recover_kaskade(tmp_path)
+        assert first.replayed_batches == 4
+        second_engine.simulate_power_loss()
+        _, _, second = recover_kaskade(tmp_path)
+        assert second.wal_records == 0  # tail already in the new checkpoint
+        assert second.recovered_version == first.recovered_version
+
+    def test_views_are_restored_and_refreshed(self, tmp_path):
+        kaskade = Kaskade(provenance_graph(num_jobs=10, seed=4))
+        engine = DurabilityEngine(tmp_path, checkpoint_every=1)
+        snapshots = SnapshotManager(kaskade, durability=engine)
+        view = kaskade.materialize_view(job_to_job_connector(k=2))
+        commit_vertices(snapshots, 3)  # checkpoint_every=1: views checkpointed
+        engine.simulate_power_loss()
+        recovered, _, _ = recover_kaskade(tmp_path)
+        names = [v.definition.name for v in recovered.catalog]
+        assert names == [view.definition.name]
+
+    def test_automatic_checkpoint_cadence(self, tmp_path):
+        kaskade = Kaskade(provenance_graph(num_jobs=10, seed=4))
+        engine = DurabilityEngine(tmp_path, checkpoint_every=3)
+        snapshots = SnapshotManager(kaskade, durability=engine)
+        commit_vertices(snapshots, 7)
+        # Baseline + the cadence checkpoints taken at commit starts.
+        assert engine.counters["checkpoints_written"] >= 3
+        assert engine.counters["batches_logged"] == 7
+        assert engine.counters["markers_logged"] == 7
+
+    def test_restart_without_crash(self, tmp_path, stack):
+        kaskade, engine, snapshots = stack
+        commit_vertices(snapshots, 2)
+        expected = graph_fingerprint(kaskade.graph)
+        engine.close()
+        recovered, reopened, _ = recover_kaskade(tmp_path)
+        assert graph_fingerprint(recovered.graph) == expected
+        assert reopened.ready
+
+    def test_describe_reports_counters(self, stack):
+        _, engine, snapshots = stack
+        commit_vertices(snapshots, 2)
+        status = engine.describe()
+        assert status["ready"] is True
+        assert status["batches_logged"] == 2
+        assert status["wal_records_appended"] == 4  # batch + marker each

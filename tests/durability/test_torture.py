@@ -1,0 +1,89 @@
+"""Crash-torture sweep: kill the service at every fault point, then recover.
+
+The invariant (checked differentially against a serial oracle by
+:func:`~repro.workloads.runner.run_crash_recovery_workload`): after a crash
+at *any* point, recovery reproduces exactly the acknowledged prefix — no
+acknowledged commit lost, no unacknowledged commit resurrected.  The CI
+crash-torture leg runs this module under several ``CHAOS_SEED`` values.
+"""
+
+import random
+
+import pytest
+
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.schema import homogeneous_schema
+from repro.query.parser import parse_query
+from repro.testing.faults import FAULT_POINTS, chaos_seed
+from repro.workloads.runner import run_crash_recovery_workload
+
+SEED = chaos_seed(default=17)
+
+QUERY = parse_query("MATCH (a:Node)-[:LINK]->(b:Node) RETURN a, b")
+
+
+def seed_graph(num_vertices=30, num_edges=60):
+    graph = PropertyGraph("torture-seed",
+                          schema=homogeneous_schema("Node", "LINK"))
+    rng = random.Random(SEED)
+    for index in range(num_vertices):
+        graph.add_vertex(f"n{index}", "Node")
+    for _ in range(num_edges):
+        source, target = rng.sample(range(num_vertices), 2)
+        graph.add_edge(f"n{source}", f"n{target}", "LINK")
+    return graph
+
+
+class TestCrashSweep:
+    @pytest.mark.parametrize("fault_point", sorted(FAULT_POINTS))
+    @pytest.mark.parametrize("crash_after", [0, 2, 5])
+    def test_crash_at_point_recovers_acknowledged_prefix(self, tmp_path,
+                                                         fault_point,
+                                                         crash_after):
+        # checkpoint_every=2 keeps every point (checkpoint.write included)
+        # hot enough that crash_after=5 still fires within the run.
+        result = run_crash_recovery_workload(
+            seed_graph(), root=tmp_path, fault_point=fault_point,
+            crash_after=crash_after, checkpoint_every=2, seed=SEED,
+            queries=[QUERY])
+        assert result.ok, result.violations
+        assert result.crashed  # the armed crash must actually have fired
+        assert result.recovered_version == result.oracle_version
+
+    def test_abrupt_power_cut_without_injected_fault(self, tmp_path):
+        result = run_crash_recovery_workload(
+            seed_graph(), root=tmp_path, fault_point=None, seed=SEED,
+            queries=[QUERY])
+        assert result.ok, result.violations
+        assert not result.crashed
+        assert result.acknowledged_batches == result.attempted_batches
+
+    def test_torn_write_mid_append(self, tmp_path):
+        result = run_crash_recovery_workload(
+            seed_graph(), root=tmp_path, fault_point="wal.append",
+            fault_mode="torn_write", crash_after=3, seed=SEED,
+            queries=[QUERY])
+        assert result.ok, result.violations
+        assert result.crashed
+
+    def test_injected_raise_degrades_to_500_not_crash(self, tmp_path):
+        # A recoverable fault at the handler: the batch is rejected with a
+        # 500, nothing applies, and the service keeps going.
+        result = run_crash_recovery_workload(
+            seed_graph(), root=tmp_path, fault_point="server.handle",
+            fault_mode="raise", crash_after=1, seed=SEED, queries=[QUERY])
+        assert result.ok, result.violations
+        assert not result.crashed
+        assert result.failed_batches == 1
+        assert result.acknowledged_batches == result.attempted_batches - 1
+
+    def test_crash_across_checkpoint_boundaries(self, tmp_path):
+        # Tight checkpoint cadence + late crash: recovery must combine the
+        # newest checkpoint with a short WAL tail rather than replay it all.
+        result = run_crash_recovery_workload(
+            seed_graph(), root=tmp_path, fault_point="wal.append",
+            crash_after=16, num_batches=20, checkpoint_every=2, seed=SEED,
+            queries=[QUERY])
+        assert result.ok, result.violations
+        assert result.crashed
+        assert result.recovery.checkpoint_version > 0

@@ -47,3 +47,11 @@ def test_run_experiments_cli_subset(capsys):
     output = capsys.readouterr().out
     assert "Table IV" in output
     assert "search-space reduction" in output
+
+
+def test_recover_example_runs(capsys):
+    run_example("recover.py")
+    output = capsys.readouterr().out
+    assert "crash injected at 'wal.append'" in output
+    assert "unacknowledged commit did not resurrect" in output
+    assert output.strip().endswith("OK")

@@ -1,0 +1,174 @@
+"""Server resilience: error hygiene, scrape hardening, health probes."""
+
+import json
+
+import pytest
+
+from repro.core.kaskade import Kaskade
+from repro.datasets.provenance import provenance_graph
+from repro.durability import DurabilityEngine
+from repro.graph.io import graph_fingerprint
+from repro.service.metrics import MetricsRegistry, ServiceMetrics
+from repro.service.server import GraphService
+from repro.testing.faults import FaultInjector, InjectedCrash
+
+WRITES = "MATCH (j:Job)-[:WRITES_TO]->(f:File) RETURN j, f"
+
+
+@pytest.fixture
+def service() -> GraphService:
+    return GraphService(graph=provenance_graph(num_jobs=15, seed=3))
+
+
+class TestErrorHygiene:
+    @staticmethod
+    def _broken_service() -> GraphService:
+        faults = FaultInjector(seed=1)
+        faults.plan("server.handle", mode="raise")
+        return GraphService(graph=provenance_graph(num_jobs=15, seed=3),
+                            faults=faults)
+
+    def test_unexpected_exception_becomes_opaque_500(self, caplog):
+        service = self._broken_service()
+        with caplog.at_level("ERROR", logger="repro.service"):
+            response = service.handle("POST", "/query", {"query": WRITES})
+        assert response.status == 500
+        assert response.body["error"] == "internal server error"
+        error_id = response.body["error_id"]
+        assert len(error_id) == 8
+        # No traceback or exception detail leaks into the response body...
+        rendered = json.dumps(response.body)
+        assert "Traceback" not in rendered
+        assert "injected" not in rendered
+        # ...while the server-side log carries the id and the stack.
+        assert any(error_id in record.getMessage()
+                   for record in caplog.records)
+        assert any(record.exc_info for record in caplog.records)
+
+    def test_each_error_gets_a_fresh_id(self):
+        faults = FaultInjector(seed=1)
+        faults.plan("server.handle", mode="raise", times=2)
+        service = GraphService(graph=provenance_graph(num_jobs=15, seed=3),
+                               faults=faults)
+        first = service.handle("GET", "/views", None)
+        second = service.handle("GET", "/views", None)
+        assert first.body["error_id"] != second.body["error_id"]
+        third = service.handle("GET", "/views", None)  # plan retired
+        assert third.status == 200
+
+    def test_typed_errors_keep_their_4xx_mapping(self, service):
+        # Hygiene must not swallow the typed error contract.
+        assert service.handle("POST", "/query", {"query": "MATCH (x:"}
+                              ).status == 400
+
+    def test_injected_crash_is_not_converted_to_500(self):
+        faults = FaultInjector(seed=1)
+        faults.arm_crash("server.handle")
+        service = GraphService(graph=provenance_graph(num_jobs=15, seed=3),
+                               faults=faults)
+        with pytest.raises(InjectedCrash):
+            service.handle("GET", "/health", None)
+
+    def test_500_counts_in_metrics(self):
+        service = self._broken_service()
+        service.handle("POST", "/query", {"query": WRITES})
+        assert 'kaskade_queries_total{status="error"} 1' \
+            in service.metrics.render()
+
+
+class TestScrapeHardening:
+    def test_broken_callback_never_fails_the_scrape(self):
+        registry = MetricsRegistry()
+        registry.counter("good_total", "works").inc()
+
+        def explode():
+            raise RuntimeError("mid-teardown")
+
+        registry.gauge_callback("broken_gauge", "raises at sample time",
+                                explode)
+        text = registry.render()
+        assert "good_total 1" in text
+        # The broken metric keeps its headers but contributes no sample...
+        assert "# TYPE broken_gauge gauge" in text
+        assert "\nbroken_gauge " not in text
+        # ...and the drop is visible on the same scrape.
+        assert ('kaskade_metrics_callback_errors_total'
+                '{metric="broken_gauge"} 1') in text
+        assert ('kaskade_metrics_callback_errors_total'
+                '{metric="broken_gauge"} 2') in registry.render()
+
+    def test_service_metrics_scrape_survives_dead_binding(self):
+        class Explosive:
+            @property
+            def in_flight(self):
+                raise RuntimeError("gone")
+
+            queued = 0
+
+        metrics = ServiceMetrics()
+        metrics.bind_admission(Explosive())
+        text = metrics.render()
+        assert ('kaskade_metrics_callback_errors_total'
+                '{metric="kaskade_inflight_requests"} 1') in text
+        assert "kaskade_queued_requests 0" in text
+
+    def test_metrics_endpoint_never_500s(self):
+        service = GraphService(graph=provenance_graph(num_jobs=15, seed=3))
+        service.metrics.registry.gauge_callback(
+            "kaskade_doomed", "always raises",
+            lambda: (_ for _ in ()).throw(RuntimeError("no")))
+        response = service.handle("GET", "/metrics", None)
+        assert response.status == 200
+        assert "kaskade_doomed" in response.body
+
+
+class TestHealthProbes:
+    def test_liveness_is_unconditional(self, service):
+        response = service.handle("GET", "/health/live", None)
+        assert response.status == 200
+        assert response.body == {"status": "alive"}
+
+    def test_health_reports_ready_flag(self, service):
+        response = service.handle("GET", "/health", None)
+        assert response.status == 200
+        assert response.body["ready"] is True
+
+    def test_readiness_503_until_recovery_completes(self, tmp_path):
+        kaskade = Kaskade(provenance_graph(num_jobs=15, seed=3))
+        engine = DurabilityEngine(tmp_path)
+        service = GraphService(kaskade, durability=engine)
+        assert service.handle("GET", "/health/ready", None).status == 200
+        engine.ready = False  # recovery in flight
+        response = service.handle("GET", "/health/ready", None)
+        assert response.status == 503
+        assert response.headers["Retry-After"] == "1"
+        assert response.body["status"] == "recovering"
+        engine.ready = True
+        assert service.handle("GET", "/health/ready", None).status == 200
+
+    def test_readiness_reports_last_recovery(self, tmp_path):
+        kaskade = Kaskade(provenance_graph(num_jobs=15, seed=3))
+        GraphService(kaskade, durability=DurabilityEngine(tmp_path)) \
+            .handle("POST", "/mutate", {"ops": [
+                {"op": "add_vertex", "id": "d1", "type": "Job"}]})
+        reopened = GraphService.open_durable(tmp_path)
+        response = reopened.handle("GET", "/health/ready", None)
+        assert response.status == 200
+        assert response.body["recovery"]["replayed_batches"] == 1
+
+
+class TestOpenDurable:
+    def test_fresh_root_then_restart_recovers_state(self, tmp_path):
+        first = GraphService.open_durable(
+            tmp_path, graph=provenance_graph(num_jobs=15, seed=3))
+        first.handle("POST", "/mutate", {"ops": [
+            {"op": "add_vertex", "id": "durable1", "type": "Job"}]})
+        expected = graph_fingerprint(first.kaskade.graph)
+        version = first.kaskade.graph.version
+        first.durability.simulate_power_loss()
+        second = GraphService.open_durable(tmp_path)
+        assert second.ready
+        assert second.kaskade.graph.version == version
+        assert graph_fingerprint(second.kaskade.graph) == expected
+        response = second.handle("POST", "/query", {"query": WRITES})
+        assert response.status == 200 and response.body["row_count"] > 0

@@ -1,0 +1,172 @@
+"""FaultInjector: determinism, plan semantics, escalation, counters."""
+
+import time
+
+import pytest
+
+from repro.errors import KaskadeError
+from repro.testing.faults import (
+    CHAOS_SEED_ENV,
+    FAULT_MODES,
+    FAULT_POINTS,
+    FaultAction,
+    FaultInjector,
+    InjectedCrash,
+    InjectedFault,
+    chaos_seed,
+)
+
+
+class TestPlanSemantics:
+    def test_after_fires_on_exact_hit(self):
+        faults = FaultInjector(seed=1)
+        faults.plan("p", mode="raise", after=2)
+        faults.check("p")
+        faults.check("p")
+        with pytest.raises(InjectedFault):
+            faults.check("p")
+
+    def test_times_retires_plan(self):
+        faults = FaultInjector(seed=1)
+        faults.plan("p", mode="raise", times=1)
+        with pytest.raises(InjectedFault):
+            faults.check("p")
+        faults.check("p")  # retired: passes
+        assert faults.hits("p") == 2
+        assert faults.injected_total("p") == 1
+
+    def test_unlimited_plan_keeps_firing(self):
+        faults = FaultInjector(seed=1)
+        faults.plan("p", mode="raise", times=None)
+        for _ in range(3):
+            with pytest.raises(InjectedFault):
+                faults.check("p")
+        assert faults.injected_total("p") == 3
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultInjector(seed=1).plan("p", mode="explode")
+        assert set(FAULT_MODES) == {"raise", "crash", "torn_write", "latency"}
+
+    def test_clear_disarms(self):
+        faults = FaultInjector(seed=1)
+        faults.plan("p", mode="crash")
+        faults.plan("q", mode="crash")
+        faults.clear("p")
+        faults.check("p")  # disarmed
+        with pytest.raises(InjectedCrash):
+            faults.check("q")
+        faults.clear()
+        faults.check("q")
+
+    def test_arm_crash_shorthand(self):
+        faults = FaultInjector(seed=1)
+        plan = faults.arm_crash("server.handle", after=1)
+        assert plan.mode == "crash" and plan.after == 1
+        faults.check("server.handle")
+        with pytest.raises(InjectedCrash):
+            faults.check("server.handle")
+        assert plan.fired == 1
+
+
+class TestDeterminism:
+    @staticmethod
+    def _firing_pattern(seed: int) -> list[int]:
+        faults = FaultInjector(seed=seed)
+        faults.plan("p", mode="raise", times=None, probability=0.4)
+        fired = []
+        for hit in range(40):
+            try:
+                faults.check("p")
+            except InjectedFault:
+                fired.append(hit)
+        return fired
+
+    def test_same_seed_same_firings(self):
+        first = self._firing_pattern(7)
+        assert first  # probability 0.4 over 40 hits must fire sometimes
+        assert first == self._firing_pattern(7)
+
+    def test_different_seed_diverges(self):
+        assert self._firing_pattern(7) != self._firing_pattern(8)
+
+    def test_chaos_seed_env(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_SEED_ENV, "42")
+        assert chaos_seed() == 42
+        assert FaultInjector().seed == 42
+        monkeypatch.setenv(CHAOS_SEED_ENV, "not-a-number")
+        assert chaos_seed(default=5) == 5
+        monkeypatch.delenv(CHAOS_SEED_ENV)
+        assert chaos_seed(default=3) == 3
+
+
+class TestModesAndEscalation:
+    def test_raise_mode_at_fatal_point_escalates_to_crash(self):
+        faults = FaultInjector(seed=1)
+        faults.plan("wal.fsync", mode="raise")
+        faults.plan("commit.apply", mode="raise")
+        with pytest.raises(InjectedCrash):
+            faults.check("wal.fsync")
+        with pytest.raises(InjectedCrash):
+            faults.check("commit.apply")
+
+    def test_raise_mode_at_recoverable_point_stays_a_fault(self):
+        faults = FaultInjector(seed=1)
+        faults.plan("server.handle", mode="raise")
+        with pytest.raises(InjectedFault) as excinfo:
+            faults.check("server.handle")
+        assert not isinstance(excinfo.value, InjectedCrash)
+
+    def test_torn_write_returns_partial_action(self):
+        faults = FaultInjector(seed=1)
+        faults.plan("wal.append", mode="torn_write")
+        action = faults.check("wal.append", payload_len=100)
+        assert isinstance(action, FaultAction)
+        assert 1 <= action.write_bytes < 100
+
+    def test_torn_write_fraction_is_honored(self):
+        faults = FaultInjector(seed=1)
+        faults.plan("wal.append", mode="torn_write", torn_fraction=0.5)
+        assert faults.check("wal.append", payload_len=100).write_bytes == 50
+
+    def test_torn_write_without_bytes_degrades_to_crash(self):
+        faults = FaultInjector(seed=1)
+        faults.plan("checkpoint.write", mode="torn_write")
+        with pytest.raises(InjectedCrash):
+            faults.check("checkpoint.write")
+
+    def test_latency_mode_sleeps_then_continues(self):
+        faults = FaultInjector(seed=1)
+        faults.plan("p", mode="latency", latency_seconds=0.02)
+        start = time.perf_counter()
+        assert faults.check("p") is None
+        assert time.perf_counter() - start >= 0.015
+        assert faults.injected_total("p") == 1
+
+    def test_injected_exceptions_are_not_engine_errors(self):
+        # The server's typed KaskadeError handling must treat injections as
+        # unexpected infrastructure failures (-> opaque 500), not 4xx.
+        assert not isinstance(InjectedFault("p"), KaskadeError)
+        assert not isinstance(InjectedCrash("p"), KaskadeError)
+        assert isinstance(InjectedCrash("p"), InjectedFault)
+
+
+class TestCounters:
+    def test_attach_counter_mirrors_injections(self):
+        seen = []
+
+        class FakeCounter:
+            def inc(self, **labels):
+                seen.append(labels)
+
+        faults = FaultInjector(seed=1)
+        faults.attach_counter(FakeCounter())
+        faults.plan("server.handle", mode="raise")
+        with pytest.raises(InjectedFault):
+            faults.check("server.handle")
+        assert seen == [{"point": "server.handle", "mode": "raise"}]
+
+    def test_known_points_are_documented(self):
+        assert set(FAULT_POINTS) == {"wal.append", "wal.fsync",
+                                     "checkpoint.write", "commit.apply",
+                                     "server.handle"}
