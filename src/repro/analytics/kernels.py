@@ -342,14 +342,19 @@ def resolve_store_for_paths(graph: GraphLike, k: int) -> CSRGraphStore | None:
 
 def engine_for(graph: GraphLike) -> str:
     """``"kernel"`` when :func:`resolve_store` would route to CSR kernels,
+    ``"parallel"`` when a healthy shard partition is registered for the store,
     else ``"reference"`` — what the workload runner reports per query.
 
-    Pure prediction: unlike :func:`resolve_store` this never freezes, so
-    probing the engine does not move the build cost out of whatever the
-    caller is timing.
+    Pure prediction: unlike :func:`resolve_store` this never freezes (and
+    never partitions), so probing the engine does not move the build cost out
+    of whatever the caller is timing.
     """
     base, ready = _dispatch_base(graph)
     if ready is not None:
+        from repro.analytics import parallel as _parallel
+
+        if _parallel.peek_parallel(ready) is not None:
+            return "parallel"
         return "kernel"
     if base is None:
         return "reference"

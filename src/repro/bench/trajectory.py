@@ -1,0 +1,102 @@
+"""Fold per-module benchmark records into one perf-trajectory file.
+
+Every benchmark session writes ``BENCH_<module>.json`` files (see
+``benchmarks/conftest.py``): flat lists of ``{"benchmark", "metric", "value",
+"timestamp"}`` entries, overwritten per run.  Individually those files answer
+"what did this module measure last time"; what the roadmap asks for is the
+*history-shaped* view — one machine-readable artifact a future re-anchor can
+read to see where the perf story stands without re-running anything.
+
+:func:`fold_trajectory` produces that artifact, ``BENCH_TRAJECTORY.json``::
+
+    {
+      "generated_at": <fold time, epoch seconds>,
+      "modules": {"<module>": [entries...], ...},
+      "latest": {"<module>": {"<benchmark>": {"<metric>": {"value": ...,
+                                                           "timestamp": ...}}}}
+    }
+
+``modules`` preserves every record verbatim (grouped by module); ``latest``
+keeps only the newest value per (module, benchmark, metric) — the quick-read
+summary.  The fold is idempotent and purely derived: it re-reads whatever
+``BENCH_*.json`` files exist (skipping its own output) and rewrites the
+trajectory, so modules benchmarked in *earlier* sessions keep contributing
+as long as their files remain in the output directory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+#: Output filename, alongside the per-module files it folds.
+TRAJECTORY_FILENAME = "BENCH_TRAJECTORY.json"
+
+
+def _module_of(path: Path) -> str:
+    return path.stem[len("BENCH_"):]
+
+
+def collect_records(out_dir: str | Path) -> dict[str, list[dict]]:
+    """All per-module benchmark records in ``out_dir``, keyed by module.
+
+    Unreadable or malformed files are skipped (a torn write from a crashed
+    run must not poison the fold), as is the trajectory file itself.
+    """
+    out_path = Path(out_dir)
+    records: dict[str, list[dict]] = {}
+    if not out_path.is_dir():
+        return records
+    for path in sorted(out_path.glob("BENCH_*.json")):
+        if path.name == TRAJECTORY_FILENAME:
+            continue
+        try:
+            entries = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if not isinstance(entries, list):
+            continue
+        clean = [entry for entry in entries
+                 if isinstance(entry, dict)
+                 and "benchmark" in entry and "metric" in entry]
+        if clean:
+            records[_module_of(path)] = clean
+    return records
+
+
+def latest_values(records: dict[str, list[dict]]) -> dict:
+    """Newest value per (module, benchmark, metric), by record timestamp."""
+    latest: dict = {}
+    for module, entries in records.items():
+        per_module = latest.setdefault(module, {})
+        for entry in entries:
+            per_benchmark = per_module.setdefault(str(entry["benchmark"]), {})
+            timestamp = float(entry.get("timestamp", 0.0))
+            current = per_benchmark.get(str(entry["metric"]))
+            if current is None or timestamp >= current["timestamp"]:
+                per_benchmark[str(entry["metric"])] = {
+                    "value": entry.get("value"),
+                    "timestamp": timestamp,
+                }
+    return latest
+
+
+def fold_trajectory(out_dir: str | Path) -> Path | None:
+    """Fold every ``BENCH_*.json`` in ``out_dir`` into the trajectory file.
+
+    Returns the path written, or None when there was nothing to fold (the
+    directory is absent or holds no per-module records) — in that case an
+    existing trajectory file is left untouched.
+    """
+    records = collect_records(out_dir)
+    if not records:
+        return None
+    payload = {
+        "generated_at": time.time(),
+        "modules": records,
+        "latest": latest_values(records),
+    }
+    target = Path(out_dir) / TRAJECTORY_FILENAME
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return target

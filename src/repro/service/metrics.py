@@ -375,6 +375,31 @@ class ServiceMetrics:
         from repro.analytics import kernels
 
         kernels.subscribe_dispatch(self.kernel_dispatch)
+        self.parallel_dispatch = r.counter(
+            "kaskade_parallel_dispatch_total",
+            "Shard-parallel tier decisions (path=parallel/single) for "
+            "partition-eligible kernel calls made while this registry is "
+            "subscribed")
+        # Same pattern one tier up: pre-seed both series, then mirror the
+        # parallel dispatcher's decisions through its weak subscription.
+        for path in ("parallel", "single"):
+            self.parallel_dispatch.inc(0.0, path=path)
+        from repro.analytics import parallel
+
+        parallel.subscribe_dispatch(self.parallel_dispatch)
+        r.gauge_callback(
+            "kaskade_shard_count",
+            "Shards across live registered graph partitions (0 when the "
+            "parallel tier is idle)",
+            lambda: float(sum(entry["shards"]
+                              for entry in parallel.describe_partitions())))
+        r.gauge_callback(
+            "kaskade_shard_edge_balance_ratio",
+            "Worst max-shard-edges / mean-shard-edges ratio across live "
+            "partitions (1.0 = perfectly balanced hash cut, 0 when none)",
+            lambda: float(max(
+                (entry["balance"] for entry in parallel.describe_partitions()),
+                default=0.0)))
 
     # ------------------------------------------------------------- observers
     def observe_query(self, outcome) -> None:
